@@ -1,0 +1,122 @@
+// Command celldta runs one benchmark on the CellDTA machine model and
+// prints the statistics the paper reports: cycle count, the SPU
+// execution-time breakdown (Figure 5 categories), dynamic instruction
+// counts (Table 5 columns) and pipeline usage (Figure 9).
+//
+// Usage:
+//
+//	celldta -bench mmul [-n 32] [-spes 8] [-latency 150] [-prefetch]
+//	        [-workers 0] [-nodes 1] [-vfp] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "mmul", "workload: "+strings.Join(celldta.Workloads(), ", "))
+		n        = flag.Int("n", 0, "problem size (0 = paper default)")
+		spes     = flag.Int("spes", 8, "number of SPEs")
+		latency  = flag.Int("latency", 150, "main-memory latency in cycles")
+		pf       = flag.Bool("prefetch", false, "enable the paper's DMA prefetching")
+		workers  = flag.Int("workers", 0, "worker threads (0 = auto power of two)")
+		nodes    = flag.Int("nodes", 1, "DTA nodes (SPEs split evenly)")
+		vfp      = flag.Bool("vfp", false, "virtual frame pointers (DTA-C extension)")
+		seed     = flag.Uint64("seed", 42, "input seed")
+		verbose  = flag.Bool("verbose", false, "per-SPU statistics")
+		describe = flag.Bool("describe", false, "describe the workload and exit")
+		traceN   = flag.Int("trace", 0, "record and print up to N thread-lifecycle events")
+	)
+	flag.Parse()
+
+	if *describe {
+		info, err := celldta.Describe(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s: %s (paper size: %d)\n", info.Name, info.Description, info.DefaultN)
+		return
+	}
+
+	cfg := celldta.DefaultConfig()
+	cfg.SPEs = *spes
+	cfg.Nodes = *nodes
+	cfg.Mem.Latency = *latency
+	cfg.LSE.VirtualFP = *vfp
+	cfg.TraceCap = *traceN
+
+	res, err := celldta.Run(celldta.RunOptions{
+		Workload: *bench,
+		Params:   celldta.Params{N: *n, Workers: *workers, Seed: *seed},
+		Prefetch: *pf,
+		Config:   cfg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mode := "original DTA"
+	if *pf {
+		mode = "DMA prefetching"
+	}
+	fmt.Printf("%s on %d SPEs (%s, memory latency %d)\n", *bench, *spes, mode, *latency)
+	fmt.Printf("execution time: %d cycles\n", res.Cycles)
+	fmt.Printf("threads executed: %d (PF blocks: %d)\n", res.Agg.Threads, res.Agg.PFBlocks)
+	fmt.Printf("functional check: ok (tokens %v)\n\n", res.Tokens)
+
+	bd := res.AvgBreakdownPct()
+	tbl := &stats.Table{
+		Title:   "average SPU execution time breakdown",
+		Headers: []string{"bucket", "share"},
+	}
+	for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+		tbl.AddRow(b.String(), stats.Pct(bd[b]))
+	}
+	tbl.Render(os.Stdout)
+
+	ic := res.Agg.Instr
+	fmt.Printf("\ninstructions: total=%d load=%d store=%d read=%d write=%d lsdir=%d dta=%d mfc=%d\n",
+		ic.Total, ic.Load, ic.Store, ic.Read, ic.Write, ic.LSDir, ic.DTA, ic.MFC)
+	fmt.Printf("pipeline usage: %.1f%% of cycles issuing (%.3f slot utilisation)\n",
+		bd[stats.Working], res.PipelineUsage())
+	fmt.Printf("interconnect: %d messages, %d bytes\n", res.Net.Messages, res.Net.Bytes)
+	fmt.Printf("memory: %d scalar reads, %d block reads, %d bytes read\n",
+		res.Mem.ScalarReads, res.Mem.BlockReads, res.Mem.BytesRead)
+
+	if res.Trace != nil {
+		fmt.Println("\nthread lifecycle trace (paper Figure 4 states):")
+		res.Trace.Dump(os.Stdout)
+	}
+
+	if *verbose {
+		fmt.Println()
+		per := &stats.Table{
+			Title: "per-SPU statistics",
+			Headers: []string{"SPU", "threads", "working", "idle", "mem", "ls",
+				"lse", "prefetch", "instr"},
+		}
+		for i, s := range res.SPUs {
+			per.AddRow(
+				fmt.Sprintf("%d", i),
+				fmt.Sprintf("%d", s.Threads),
+				stats.Pct(s.Breakdown.Percent(stats.Working)),
+				stats.Pct(s.Breakdown.Percent(stats.Idle)),
+				stats.Pct(s.Breakdown.Percent(stats.MemStall)),
+				stats.Pct(s.Breakdown.Percent(stats.LSStall)),
+				stats.Pct(s.Breakdown.Percent(stats.LSEStall)),
+				stats.Pct(s.Breakdown.Percent(stats.Prefetch)),
+				fmt.Sprintf("%d", s.Instr.Total),
+			)
+		}
+		per.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,81 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (plus the ablations documented in DESIGN.md) on the CellDTA
+// reproduction.
+//
+// Usage:
+//
+//	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list]
+//
+// With no flags it runs the full paper suite at the paper's operating
+// point (8 SPEs, 150-cycle memory, full problem sizes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		spes    = flag.Int("spes", 8, "number of SPEs")
+		latency = flag.Int("latency", 150, "main-memory latency in cycles")
+		quick   = flag.Bool("quick", false, "shrink problem sizes for a fast pass")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		metrics = flag.Bool("metrics", false, "also print machine-readable metrics")
+		seed    = flag.Uint64("seed", 42, "workload input seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	selected := harness.All()
+	if *only != "" {
+		selected = nil
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	ctx := harness.NewContext(harness.Options{
+		SPEs: *spes, Latency: *latency, Quick: *quick, Seed: *seed,
+	})
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("==== %s — %s\n", e.ID, e.Title)
+		fmt.Printf("     paper: %s\n\n", e.Paper)
+		out, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		out.Print(os.Stdout)
+		if *metrics {
+			keys := make([]string, 0, len(out.Metrics))
+			for k := range out.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("metric %s.%s = %.4f\n", e.ID, k, out.Metrics[k])
+			}
+		}
+		fmt.Printf("     (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,122 @@
+// Assembler example: write a DTA program as text, assemble it, apply
+// the prefetch pass, and run both variants. The program computes the
+// dot product of two vectors in main memory with a fork/join pair.
+//
+//	go run ./examples/assembler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/asm"
+)
+
+const source = `
+; dot product: two workers each handle half the vectors, a joiner adds
+; the partial sums and posts the result to the PPE mailbox.
+.program dotprod
+.entry root 0x100000 0x200000 16
+.expect 1
+.segment 0x100000 words32(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+.segment 0x200000 words32(2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3)
+
+.template joiner
+.block pl
+        load r1, 0
+        load r2, 1
+        add r3, r1, r2
+.block ps
+        movi r4, -1
+        store r3, r4, 0
+        ffree
+        stop
+
+.template worker
+.region xs base s0+s2*4 size s3*4 max 64
+.region ys base s1+s2*4 size s3*4 max 64
+.block pl
+        load r1, 0              ; xs base
+        load r2, 1              ; ys base
+        load r3, 2              ; start index
+        load r4, 3              ; count
+        load r5, 4              ; joiner FP
+        load r6, 5              ; result slot
+.block ex
+        movi r10, 0             ; sum
+        movi r11, 0             ; i
+        shli r12, r3, 2
+        add r13, r1, r12        ; x pointer
+        add r14, r2, r12        ; y pointer
+loop:
+        read@xs r15, r13, 0
+        read@ys r16, r14, 0
+        mul r17, r15, r16
+        add r10, r10, r17
+        addi r13, r13, 4
+        addi r14, r14, 4
+        addi r11, r11, 1
+        blt r11, r4, loop
+.block ps
+        storex r10, r5, r6
+        ffree
+        stop
+
+.template root
+.block pl
+        load r1, 0              ; xs
+        load r2, 1              ; ys
+        load r3, 2              ; n
+.block ps
+        falloc r4, joiner, 2
+        srai r5, r3, 1          ; half = n/2
+        ; worker 0: [0, half)
+        falloc r6, worker, 6
+        store r1, r6, 0
+        store r2, r6, 1
+        movi r7, 0
+        store r7, r6, 2
+        store r5, r6, 3
+        store r4, r6, 4
+        store r7, r6, 5
+        ; worker 1: [half, n)
+        falloc r6, worker, 6
+        store r1, r6, 0
+        store r2, r6, 1
+        store r5, r6, 2
+        store r5, r6, 3
+        store r4, r6, 4
+        movi r7, 1
+        store r7, r6, 5
+        ffree
+        stop
+`
+
+func main() {
+	prog, err := asm.Parse(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := celldta.DefaultConfig()
+	cfg.SPEs = 2
+
+	run := func(label string, p *celldta.Program) {
+		res, err := celldta.Execute(cfg, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s dot = %d  (%d cycles, %d threads)\n",
+			label, res.Tokens[0], res.Cycles, res.Agg.Threads)
+	}
+	run("blocking READs:", prog)
+
+	pf, err := celldta.Transform(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("DMA prefetching:", pf)
+
+	// want: 2*(1+..+8) + 3*(9+..+16)
+	fmt.Println("expected:          ", 2*36+3*100)
+}

@@ -1,0 +1,177 @@
+// Customthread: author a DTA program directly with the macro-assembler
+// API — a parallel polynomial evaluation with a hand-written PF block
+// variant produced by the prefetch pass. It demonstrates the thread
+// discipline the paper describes: frames + synchronisation counters for
+// producer/consumer communication, PL/EX/PS code blocks, region
+// annotations for the compiler, and mailbox completion.
+//
+//	go run ./examples/customthread
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Problem: evaluate p(x) = c0 + c1*x + c2*x^2 + c3*x^3 for many x in
+	// parallel; each worker handles a slice of xs and posts a partial
+	// sum of p(x) to a joiner thread.
+	const (
+		base    = 0x0050_0000 // xs array in main memory
+		cbase   = 0x0060_0000 // coefficients
+		count   = 512
+		workers = 8
+		per     = count / workers
+	)
+	xs := make([]int64, count)
+	for i := range xs {
+		xs[i] = int64(i%17 - 8)
+	}
+	coeffs := []int64{3, -2, 5, 1}
+
+	b := celldta.NewProgramBuilder("poly")
+
+	joiner := b.Template("joiner")
+	{
+		pl := joiner.PL()
+		pl.Movi(celldta.R(1), 0)
+		pl.Movi(celldta.R(2), 0)
+		pl.Movi(celldta.R(3), workers)
+		pl.Label("sum")
+		pl.Loadx(celldta.R(4), celldta.R(2))
+		pl.Add(celldta.R(1), celldta.R(1), celldta.R(4))
+		pl.Addi(celldta.R(2), celldta.R(2), 1)
+		pl.Blt(celldta.R(2), celldta.R(3), "sum")
+		joiner.PS().
+			StoreMailbox(celldta.R(1), celldta.R(5), 0).
+			Ffree().
+			Stop()
+	}
+
+	worker := b.Template("worker")
+	{
+		// Frame: 0=xsBase 1=coeffBase 2=start 3=count 4=joinFP 5=slot.
+		// Both the x slice and the coefficient table are declared
+		// regions, so the prefetch pass can decouple every read.
+		rgXs := worker.Region("xs",
+			celldta.AddrTermExpr(0, 1, 2, 8), // base + start*8
+			celldta.SizeSlotExpr(3, 8), 8*per)
+		rgC := worker.Region("coeffs",
+			celldta.AddrTermExpr(1, 1, -1, 0),
+			celldta.SizeConstExpr(32), 32)
+
+		pl := worker.PL()
+		for i := 0; i < 6; i++ {
+			pl.Load(celldta.R(1+i), i)
+		}
+		ex := worker.EX()
+		rXs, rC, rStart, rCount := celldta.R(1), celldta.R(2), celldta.R(3), celldta.R(4)
+		rSum, rI, rPtr := celldta.R(10), celldta.R(11), celldta.R(12)
+		rX, rAcc, rK := celldta.R(13), celldta.R(14), celldta.R(15)
+		rCoef := celldta.R(16)
+
+		ex.Movi(rSum, 0)
+		ex.Movi(rI, 0)
+		ex.Shli(rPtr, rStart, 3)
+		ex.Add(rPtr, rXs, rPtr)
+		ex.Label("loop")
+		ex.Read8Region(rgXs, rX, rPtr, 0)
+		// Horner: acc = ((c3*x + c2)*x + c1)*x + c0.
+		ex.Read8Region(rgC, rAcc, rC, 24) // c3
+		ex.Movi(rK, 2)
+		ex.Label("horner")
+		ex.Mul(rAcc, rAcc, rX)
+		ex.Shli(rCoef, rK, 3)
+		ex.Add(rCoef, rC, rCoef)
+		ex.Read8Region(rgC, rCoef, rCoef, 0)
+		ex.Add(rAcc, rAcc, rCoef)
+		ex.Subi(rK, rK, 1)
+		ex.Bge(rK, celldta.R(0), "horner")
+		ex.Add(rSum, rSum, rAcc)
+		ex.Addi(rPtr, rPtr, 8)
+		ex.Addi(rI, rI, 1)
+		ex.Blt(rI, rCount, "loop")
+		ps := worker.PS()
+		ps.Storex(rSum, celldta.R(5), celldta.R(6))
+		ps.Ffree()
+		ps.Stop()
+	}
+
+	root := b.Template("root")
+	{
+		pl := root.PL()
+		pl.Load(celldta.R(1), 0) // xs base
+		pl.Load(celldta.R(2), 1) // coeff base
+		ps := root.PS()
+		rJoin, rW, rN, rPer, rChild, rStart := celldta.R(3), celldta.R(4), celldta.R(5), celldta.R(6), celldta.R(7), celldta.R(8)
+		ps.Falloc(rJoin, joiner, workers)
+		ps.Movi(rW, 0)
+		ps.Movi(rN, workers)
+		ps.Movi(rPer, per)
+		ps.Label("fork")
+		ps.Falloc(rChild, worker, 6)
+		ps.Store(celldta.R(1), rChild, 0)
+		ps.Store(celldta.R(2), rChild, 1)
+		ps.Mul(rStart, rW, rPer)
+		ps.Store(rStart, rChild, 2)
+		ps.Store(rPer, rChild, 3)
+		ps.Store(rJoin, rChild, 4)
+		ps.Store(rW, rChild, 5)
+		ps.Addi(rW, rW, 1)
+		ps.Blt(rW, rN, "fork")
+		ps.Ffree()
+		ps.Stop()
+	}
+
+	b.Entry(root, base, cbase)
+	b.Segment(base, int64Bytes(xs))
+	b.Segment(cbase, int64Bytes(coeffs))
+
+	want := int64(0)
+	for _, x := range xs {
+		want += coeffs[0] + coeffs[1]*x + coeffs[2]*x*x + coeffs[3]*x*x*x
+	}
+	b.Check(func(mr celldta.MemReader, tokens []int64) error {
+		if len(tokens) != 1 || tokens[0] != want {
+			return fmt.Errorf("poly: tokens %v, want [%d]", tokens, want)
+		}
+		return nil
+	})
+
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := celldta.DefaultConfig()
+	run := func(label string, p *celldta.Program) {
+		res, err := celldta.Execute(cfg, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.CheckErr != nil {
+			log.Fatalf("%s: %v", label, res.CheckErr)
+		}
+		fmt.Printf("%-22s result=%d cycles=%d threads=%d\n",
+			label, res.Tokens[0], res.Cycles, res.Agg.Threads)
+	}
+	run("blocking READs:", prog)
+	pf, err := celldta.Transform(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("with DMA prefetching:", pf)
+	fmt.Printf("expected p(x) sum: %d\n", want)
+}
+
+func int64Bytes(vals []int64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return buf
+}

@@ -1,0 +1,37 @@
+// Quickstart: run the vecsum demonstrator on the default CellDTA
+// machine, with and without the paper's DMA prefetching, and print the
+// SPU execution-time breakdown the paper uses (Figure 5 categories).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	for _, prefetch := range []bool{false, true} {
+		res, err := celldta.Run(celldta.RunOptions{
+			Workload: "vecsum",
+			Params:   celldta.Params{N: 4096, Seed: 1},
+			Prefetch: prefetch,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "original DTA (blocking READs)"
+		if prefetch {
+			mode = "DMA prefetching (non-blocking)"
+		}
+		fmt.Printf("vecsum(4096), 8 SPEs — %s\n", mode)
+		fmt.Printf("  result token: %d\n", res.Tokens[0])
+		fmt.Printf("  execution time: %d cycles\n", res.Cycles)
+		bd := res.AvgBreakdownPct()
+		fmt.Printf("  working %.1f%%  idle %.1f%%  memory %.1f%%  ls %.1f%%  lse %.1f%%  prefetch %.1f%%\n\n",
+			bd[celldta.BucketWorking], bd[celldta.BucketIdle], bd[celldta.BucketMemStall],
+			bd[celldta.BucketLSStall], bd[celldta.BucketLSEStall], bd[celldta.BucketPrefetch])
+	}
+}

@@ -1,0 +1,346 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+const helloSrc = `
+; the smallest complete DTA program: the root posts its argument.
+.program hello
+.entry root 42
+
+.template root
+.block pl
+        load r1, 0
+.block ps
+        movi r2, -1
+        store r1, r2, 0
+        ffree
+        stop
+`
+
+func TestParseMinimal(t *testing.T) {
+	p, err := Parse(helloSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Name != "hello" || p.Entry != 0 || len(p.EntryArgs) != 1 || p.EntryArgs[0] != 42 {
+		t.Fatalf("program header wrong: %+v", p)
+	}
+	if got := len(p.Templates[0].Blocks[program.PS]); got != 4 {
+		t.Fatalf("PS len = %d", got)
+	}
+}
+
+func TestParsedProgramRuns(t *testing.T) {
+	p, err := Parse(helloSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = 1
+	cfg.MaxCycles = 100_000
+	m, err := cell.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tokens) != 1 || res.Tokens[0] != 42 {
+		t.Fatalf("tokens = %v", res.Tokens)
+	}
+}
+
+const loopSrc = `
+.program looper
+.entry root 10
+
+.template root
+.block pl
+        load r1, 0
+.block ex
+        movi r2, 0
+        movi r3, 0
+top:
+        addi r3, r3, 1
+        add r2, r2, r3
+        blt r3, r1, top
+.block ps
+        movi r4, -1
+        store r2, r4, 0
+        ffree
+        stop
+`
+
+func TestParseLabelsAndRun(t *testing.T) {
+	p, err := Parse(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = 1
+	cfg.MaxCycles = 100_000
+	m, err := cell.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tokens[0] != 55 { // 1+..+10
+		t.Fatalf("token = %d, want 55", res.Tokens[0])
+	}
+}
+
+const regionSrc = `
+.program regions
+.entry root 0x100000 4
+.expect 1
+.segment 0x100000 words32(10, 20, 30, 40)
+
+.template root
+.region vals base s0 size s1*4 max 16
+.block pl
+        load r1, 0
+        load r2, 1
+.block ex
+        movi r3, 0
+        movi r4, 0
+        mov r5, r1
+top:
+        read@vals r6, r5, 0
+        add r4, r4, r6
+        addi r5, r5, 4
+        addi r3, r3, 1
+        blt r3, r2, top
+.block ps
+        movi r7, -1
+        store r4, r7, 0
+        ffree
+        stop
+`
+
+func TestRegionsAndTaggedReads(t *testing.T) {
+	p, err := Parse(regionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := p.Templates[0]
+	if len(tm.Regions) != 1 || tm.Regions[0].Name != "vals" {
+		t.Fatalf("regions = %+v", tm.Regions)
+	}
+	if len(tm.Accesses) != 1 || tm.Accesses[0].Region != 0 {
+		t.Fatalf("accesses = %+v", tm.Accesses)
+	}
+	// The parsed program runs and the prefetch pass applies.
+	pf, err := prefetch.Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prog := range []*program.Program{p, pf} {
+		cfg := cell.DefaultConfig()
+		cfg.SPEs = 1
+		cfg.MaxCycles = 1_000_000
+		m, err := cell.New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Tokens[0] != 100 {
+			t.Fatalf("token = %d, want 100", res.Tokens[0])
+		}
+	}
+}
+
+const fallocSrc = `
+.program forky
+.entry root 7
+
+.template child
+.block pl
+        load r1, 0
+.block ps
+        movi r2, -1
+        store r1, r2, 0
+        ffree
+        stop
+
+.template root
+.block pl
+        load r1, 0
+.block ps
+        falloc r2, child, 1
+        store r1, r2, 0
+        ffree
+        stop
+`
+
+func TestFallocByName(t *testing.T) {
+	p, err := Parse(fallocSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := p.Templates[1].Blocks[program.PS]
+	tmpl, sc := isa.UnpackFalloc(ps[0].Imm)
+	if tmpl != 0 || sc != 1 {
+		t.Fatalf("falloc = (%d,%d)", tmpl, sc)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", ".program x\n.entry t 1\n.template t\n.block ex\n bogus r1\n", "unknown mnemonic"},
+		{"unknown directive", ".program x\n.frob y\n", "unknown directive"},
+		{"bad register", ".program x\n.entry t 1\n.template t\n.block ex\n movi rX, 1\n", "bad register"},
+		{"undefined label", ".program x\n.entry t 1\n.template t\n.block ex\n jmp nowhere\n.block ps\n stop\n", "undefined label"},
+		{"instruction outside block", ".program x\n.template t\n movi r1, 1\n", "outside a code block"},
+		{"unknown region", ".program x\n.entry t 1\n.template t\n.block ex\n read@none r1, r2, 0\n", "unknown region"},
+		{"tagged nop", ".program x\n.entry t 1\n.template t\n.region r base s0 size 4 max 16\n.block ex\n nop@r\n", "can be region-tagged"},
+		{"missing entry", ".program x\n.template t\n.block ps\n stop\n", "missing .entry"},
+		{"falloc unknown template", ".program x\n.entry t 1\n.template t\n.block ps\n falloc r1, ghost, 2\n stop\n", "unknown template"},
+		{"duplicate label", ".program x\n.entry t 1\n.template t\n.block ex\nl:\nl:\n", "duplicate label"},
+		{"region without max", ".program x\n.entry t 1\n.template t\n.region r base s0 size 4\n.block ps\n stop\n", "needs max"},
+		{"bad entry arg", ".program x\n.entry t q\n", "bad entry arg"},
+		{"operand count", ".program x\n.entry t 1\n.template t\n.block ex\n add r1, r2\n", "want 3 operands"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	// Round-trip the hand-written sources.
+	for _, src := range []string{helloSrc, loopSrc, regionSrc, fallocSrc} {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := Format(p1)
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, text)
+		}
+		if !programsEqual(p1, p2) {
+			t.Fatalf("round trip changed the program:\n%s", text)
+		}
+		// Format is a fixpoint after one round.
+		if Format(p2) != text {
+			t.Fatal("Format not stable after round trip")
+		}
+	}
+}
+
+// TestWorkloadsFormatParseRoundTrip pushes every registered workload
+// program (builder-generated, with regions, chunking and multi-template
+// forking) through the text format.
+func TestWorkloadsFormatParseRoundTrip(t *testing.T) {
+	for _, name := range workloads.Names() {
+		w, _ := workloads.Get(name)
+		p := workloads.Params{N: 8, Workers: 4, Seed: 3}
+		if name == "bitcnt" {
+			p = workloads.Params{N: 64, Chunk: 8, Seed: 3}
+		}
+		if name == "vecsum" {
+			p = workloads.Params{N: 64, Workers: 4, Seed: 3}
+		}
+		if name == "stencil" {
+			p = workloads.Params{N: 10, Workers: 4, Seed: 3}
+		}
+		prog, err := w.Build(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		text := Format(prog)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if !programsEqual(prog, back) {
+			t.Fatalf("%s: round trip changed the program", name)
+		}
+	}
+}
+
+// programsEqual compares the structural parts that the text format
+// carries (not the Go check closure).
+func programsEqual(a, b *program.Program) bool {
+	if a.Name != b.Name || a.Entry != b.Entry || a.ExpectTokens != b.ExpectTokens {
+		return false
+	}
+	if len(a.EntryArgs) != len(b.EntryArgs) || len(a.Templates) != len(b.Templates) ||
+		len(a.Segments) != len(b.Segments) {
+		return false
+	}
+	for i := range a.EntryArgs {
+		if a.EntryArgs[i] != b.EntryArgs[i] {
+			return false
+		}
+	}
+	for i := range a.Segments {
+		if a.Segments[i].Addr != b.Segments[i].Addr ||
+			len(a.Segments[i].Data) != len(b.Segments[i].Data) {
+			return false
+		}
+		for j := range a.Segments[i].Data {
+			if a.Segments[i].Data[j] != b.Segments[i].Data[j] {
+				return false
+			}
+		}
+	}
+	for i := range a.Templates {
+		ta, tb := a.Templates[i], b.Templates[i]
+		if ta.Name != tb.Name || len(ta.Regions) != len(tb.Regions) ||
+			len(ta.Accesses) != len(tb.Accesses) {
+			return false
+		}
+		for k := program.BlockKind(0); k < program.NumBlocks; k++ {
+			if len(ta.Blocks[k]) != len(tb.Blocks[k]) {
+				return false
+			}
+			for j := range ta.Blocks[k] {
+				if ta.Blocks[k][j] != tb.Blocks[k][j] {
+					return false
+				}
+			}
+		}
+		for j := range ta.Regions {
+			ra, rb := ta.Regions[j], tb.Regions[j]
+			if ra.Name != rb.Name || ra.MaxBytes != rb.MaxBytes ||
+				ra.ChunkBytes != rb.ChunkBytes || ra.Size != rb.Size ||
+				ra.Base.Const != rb.Base.Const || len(ra.Base.Terms) != len(rb.Base.Terms) {
+				return false
+			}
+			for x := range ra.Base.Terms {
+				if ra.Base.Terms[x] != rb.Base.Terms[x] {
+					return false
+				}
+			}
+		}
+		for j := range ta.Accesses {
+			if ta.Accesses[j] != tb.Accesses[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

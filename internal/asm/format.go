@@ -1,0 +1,177 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Format renders a program in the assembly syntax accepted by Parse.
+// Labels are synthesised from branch targets (L0, L1, ...) per block;
+// functional check hooks do not round-trip (they are Go closures).
+func Format(p *program.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".program %s\n", p.Name)
+	entryName := p.Templates[p.Entry].Name
+	fmt.Fprintf(&b, ".entry %s", entryName)
+	for _, a := range p.EntryArgs {
+		fmt.Fprintf(&b, " %d", a)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, ".expect %d\n", p.ExpectTokens)
+	for _, seg := range p.Segments {
+		formatSegment(&b, seg)
+	}
+	for _, t := range p.Templates {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, ".template %s\n", t.Name)
+		for _, r := range t.Regions {
+			formatRegion(&b, r)
+		}
+		for k := program.BlockKind(0); k < program.NumBlocks; k++ {
+			if len(t.Blocks[k]) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, ".block %s\n", k)
+			formatBlock(&b, p, t, k)
+		}
+	}
+	return b.String()
+}
+
+func formatSegment(b *strings.Builder, seg program.Segment) {
+	// Render as 32-bit words when the length allows, else zeros/bytes.
+	allZero := true
+	for _, d := range seg.Data {
+		if d != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		fmt.Fprintf(b, ".segment %#x zeros(%d)\n", seg.Addr, len(seg.Data))
+		return
+	}
+	if len(seg.Data)%4 == 0 {
+		fmt.Fprintf(b, ".segment %#x words32(", seg.Addr)
+		for i := 0; i < len(seg.Data); i += 4 {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%d", int32(binary.LittleEndian.Uint32(seg.Data[i:])))
+		}
+		b.WriteString(")\n")
+		return
+	}
+	// Fall back to zero-padded words (parse equivalence is by content
+	// only up to padding; callers round-tripping use word-aligned data).
+	fmt.Fprintf(b, ".segment %#x zeros(%d)\n", seg.Addr, len(seg.Data))
+}
+
+func formatRegion(b *strings.Builder, r program.Region) {
+	fmt.Fprintf(b, ".region %s base %s size %s max %d",
+		r.Name, formatAddrExpr(r.Base), formatSizeExpr(r.Size), r.MaxBytes)
+	if r.ChunkBytes > 0 {
+		fmt.Fprintf(b, " chunk %d", r.ChunkBytes)
+	}
+	b.WriteString("\n")
+}
+
+func formatAddrExpr(e program.AddrExpr) string {
+	var parts []string
+	for _, t := range e.Terms {
+		if t.Scale == 1 {
+			parts = append(parts, fmt.Sprintf("s%d", t.Slot))
+		} else {
+			parts = append(parts, fmt.Sprintf("s%d*%d", t.Slot, t.Scale))
+		}
+	}
+	if e.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", e.Const))
+	}
+	return strings.Join(parts, "+")
+}
+
+func formatSizeExpr(e program.SizeExpr) string {
+	if e.Slot < 0 {
+		return fmt.Sprintf("%d", e.Const)
+	}
+	if e.Scale == 1 {
+		return fmt.Sprintf("s%d", e.Slot)
+	}
+	return fmt.Sprintf("s%d*%d", e.Slot, e.Scale)
+}
+
+func formatBlock(b *strings.Builder, p *program.Program, t *program.Template, k program.BlockKind) {
+	block := t.Blocks[k]
+	// Collect branch targets for label synthesis.
+	targets := map[int]string{}
+	var targetList []int
+	for _, ins := range block {
+		if isa.MustInfo(ins.Op).Branch {
+			if _, ok := targets[int(ins.Imm)]; !ok {
+				targets[int(ins.Imm)] = ""
+				targetList = append(targetList, int(ins.Imm))
+			}
+		}
+	}
+	sort.Ints(targetList)
+	for i, tgt := range targetList {
+		targets[tgt] = fmt.Sprintf("L%d", i)
+	}
+	// Region tags by instruction index.
+	tags := map[int]string{}
+	for _, a := range t.Accesses {
+		if a.Block == k {
+			tags[a.Index] = t.Regions[a.Region].Name
+		}
+	}
+	for i, ins := range block {
+		if lbl, ok := targets[i]; ok {
+			fmt.Fprintf(b, "%s:\n", lbl)
+		}
+		fmt.Fprintf(b, "        %s\n", formatIns(p, ins, targets, tags[i]))
+	}
+	// A trailing label (branch to one past the end is illegal, so no
+	// trailing emission is needed).
+}
+
+func formatIns(p *program.Program, ins isa.Instruction, targets map[int]string, regionTag string) string {
+	info := isa.MustInfo(ins.Op)
+	name := info.Name
+	if regionTag != "" {
+		name = name + "@" + regionTag
+	}
+	switch {
+	case ins.Op == isa.FALLOC:
+		tmpl, sc := isa.UnpackFalloc(ins.Imm)
+		return fmt.Sprintf("%s r%d, %s, %d", name, ins.Rd, p.Templates[tmpl].Name, sc)
+	case ins.Op == isa.JMP:
+		return fmt.Sprintf("%s %s", name, targets[int(ins.Imm)])
+	case info.Branch:
+		return fmt.Sprintf("%s r%d, r%d, %s", name, ins.Ra, ins.Rb, targets[int(ins.Imm)])
+	}
+	switch info.Fmt {
+	case isa.FmtNone:
+		return name
+	case isa.FmtRd:
+		return fmt.Sprintf("%s r%d", name, ins.Rd)
+	case isa.FmtRa:
+		return fmt.Sprintf("%s r%d", name, ins.Ra)
+	case isa.FmtRdImm:
+		return fmt.Sprintf("%s r%d, %d", name, ins.Rd, ins.Imm)
+	case isa.FmtRdRa:
+		return fmt.Sprintf("%s r%d, r%d", name, ins.Rd, ins.Ra)
+	case isa.FmtRdRaRb:
+		return fmt.Sprintf("%s r%d, r%d, r%d", name, ins.Rd, ins.Ra, ins.Rb)
+	case isa.FmtRdRaImm:
+		return fmt.Sprintf("%s r%d, r%d, %d", name, ins.Rd, ins.Ra, ins.Imm)
+	case isa.FmtRdRaRbIm:
+		return fmt.Sprintf("%s r%d, r%d, r%d, %d", name, ins.Rd, ins.Ra, ins.Rb, ins.Imm)
+	}
+	return name
+}

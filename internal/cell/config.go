@@ -1,0 +1,82 @@
+// Package cell assembles the CellDTA machine: N SPEs (each an SPU
+// pipeline + local store + LSE + MFC), the shared main memory, the
+// EIB-like interconnect, one DSE per node and a PPE that offloads the
+// TLP activity and collects completion tokens — the platform of the
+// paper's §4 evaluation (CellSim extended with DTA support).
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/dta"
+	"repro/internal/ls"
+	"repro/internal/mem"
+	"repro/internal/mfc"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/spu"
+)
+
+// Config is the whole-machine configuration.
+type Config struct {
+	SPEs  int // number of SPEs (paper: 8)
+	Nodes int // DTA nodes; SPEs are split evenly (paper platform: 1)
+
+	Mem mem.Config
+	LS  ls.Config
+	Noc noc.Config
+	MFC mfc.Config
+	SPU spu.Config
+	LSE dta.LSEConfig
+	DSE dta.DSEConfig
+
+	// MaxCycles aborts runaway simulations (0 = no limit).
+	MaxCycles sim.Cycle
+
+	// TraceCap enables thread-lifecycle tracing with the given event
+	// capacity (0 disables tracing).
+	TraceCap int
+}
+
+// DefaultConfig returns the paper's operating point (Tables 2 and 4,
+// eight SPEs, one node).
+func DefaultConfig() Config {
+	return Config{
+		SPEs:      8,
+		Nodes:     1,
+		Mem:       mem.DefaultConfig(),
+		LS:        ls.DefaultConfig(),
+		Noc:       noc.DefaultConfig(),
+		MFC:       mfc.DefaultConfig(),
+		SPU:       spu.DefaultConfig(),
+		LSE:       dta.DefaultLSEConfig(),
+		DSE:       dta.DefaultDSEConfig(),
+		MaxCycles: 2_000_000_000,
+	}
+}
+
+// Validate checks structural sanity of the configuration.
+func (c Config) Validate() error {
+	if c.SPEs <= 0 {
+		return fmt.Errorf("cell: SPEs = %d", c.SPEs)
+	}
+	if c.Nodes <= 0 || c.SPEs%c.Nodes != 0 {
+		return fmt.Errorf("cell: %d SPEs not divisible into %d nodes", c.SPEs, c.Nodes)
+	}
+	if c.LS.SizeBytes <= c.LSE.NumFrames*dta.FrameBytes {
+		return fmt.Errorf("cell: local store (%d B) cannot hold %d frames",
+			c.LS.SizeBytes, c.LSE.NumFrames)
+	}
+	return nil
+}
+
+// Endpoint layout: 3 endpoints per SPE, then memory, DSEs, PPE.
+func (c Config) spuEP(i int) int { return 3 * i }
+func (c Config) mfcEP(i int) int { return 3*i + 1 }
+func (c Config) lseEP(i int) int { return 3*i + 2 }
+func (c Config) memEP() int      { return 3 * c.SPEs }
+func (c Config) dseEP(n int) int { return 3*c.SPEs + 1 + n }
+func (c Config) ppeEP() int      { return 3*c.SPEs + 1 + c.Nodes }
+func (c Config) nodeOf(spe int) int {
+	return spe / (c.SPEs / c.Nodes)
+}

@@ -1,0 +1,306 @@
+package cell
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dta"
+	"repro/internal/ls"
+	"repro/internal/mem"
+	"repro/internal/mfc"
+	"repro/internal/noc"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/spu"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SPE bundles one processing element's components.
+type SPE struct {
+	Index int
+	SPU   *spu.SPU
+	LSE   *dta.LSE
+	MFC   *mfc.Engine
+	LS    *ls.LocalStore
+	Alloc *ls.Allocator
+}
+
+// Machine is a fully wired CellDTA system ready to run one program.
+type Machine struct {
+	cfg    Config
+	prog   *program.Program
+	eng    *sim.Engine
+	net    *noc.Network
+	memory *mem.Memory
+	spes   []*SPE
+	dses   []*dta.DSE
+	ppe    *PPE
+	tracer *trace.Buffer
+
+	faultErr error
+}
+
+// Layout describes where the machine placed things in each local store.
+type Layout struct {
+	CodeBytes  int
+	FrameBase  int
+	FrameBytes int
+	HeapBase   int
+	HeapBytes  int
+}
+
+// splitFPForRouting decodes an FP for the PPE (kept here to avoid the
+// PPE importing dta directly in its hot path).
+func splitFPForRouting(fp int64) (spe, slot int, err error) {
+	return dta.SplitFP(fp)
+}
+
+// magicMem adapts the sparse store to the SPU's perfect-cache backdoor
+// (used only by the paper's §4.3 always-hit study).
+type magicMem struct{ s *mem.Sparse }
+
+func (m magicMem) MagicRead(addr int64, width int) (int64, error) {
+	if width == 4 {
+		return m.s.Read32(addr)
+	}
+	return m.s.Read64(addr)
+}
+
+func (m magicMem) MagicWrite(addr int64, v int64, width int) error {
+	if width == 4 {
+		return m.s.Write32(addr, v)
+	}
+	return m.s.Write64(addr, v)
+}
+
+// New builds a machine for prog. The program must already be validated
+// (and transformed, when prefetching is wanted).
+func New(cfg Config, prog *program.Program) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	layout, err := planLayout(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Machine{cfg: cfg, prog: prog, eng: sim.NewEngine()}
+	if cfg.TraceCap > 0 {
+		m.tracer = trace.NewBuffer(cfg.TraceCap)
+	}
+	m.net = noc.New(cfg.Noc)
+	m.net.Attach(m.eng.Register(m.net))
+
+	m.memory = mem.New(cfg.Mem, cfg.memEP(), m.net)
+	m.memory.Attach(m.eng.Register(m.memory))
+	m.net.Register(cfg.memEP(), m.memory)
+	m.memory.Fault = m.fail
+
+	lseEP := cfg.lseEP
+
+	// SPEs: LSE ticks before SPU so same-cycle dispatches work.
+	for i := 0; i < cfg.SPEs; i++ {
+		store := ls.New(cfg.LS)
+		alloc := ls.NewAllocator(layout.HeapBase, layout.HeapBytes)
+		lseUnit := dta.NewLSE(cfg.LSE, lseEP(i), i, cfg.dseEP(cfg.nodeOf(i)), cfg.ppeEP(),
+			m.net, store, alloc, int64(layout.FrameBase), prog, lseEP)
+		lseUnit.Attach(m.eng.Register(lseUnit))
+		m.net.Register(lseEP(i), lseUnit)
+		lseUnit.Fault = m.fail
+		lseUnit.Trace = m.tracer
+
+		dmaEng := mfc.New(cfg.MFC, cfg.mfcEP(i), cfg.memEP(), m.net, store)
+		dmaEng.Attach(m.eng.Register(dmaEng))
+		m.net.Register(cfg.mfcEP(i), dmaEng)
+		dmaEng.Fault = m.fail
+
+		pipe := spu.New(cfg.SPU, cfg.spuEP(i), i, cfg.memEP(), m.net, lseUnit,
+			dmaEng, store, prog)
+		pipe.Attach(m.eng.Register(pipe))
+		m.net.Register(cfg.spuEP(i), pipe)
+		pipe.Fault = m.fail
+
+		// Cross-wiring.
+		lseUnit.OnWork = pipe.Wake
+		lseUnit.OnFallocResp = pipe.OnFallocResp
+		lseUnit.Outstanding = dmaEng.Outstanding
+		dmaEng.OnTagIdle = lseUnit.TagIdle
+		pipe.Magic = magicMem{m.memory.Store()}
+
+		if err := loadCode(store, prog); err != nil {
+			return nil, err
+		}
+		m.spes = append(m.spes, &SPE{
+			Index: i, SPU: pipe, LSE: lseUnit, MFC: dmaEng, LS: store, Alloc: alloc,
+		})
+	}
+
+	// DSEs (one per node) with a forwarding ring between nodes.
+	for n := 0; n < cfg.Nodes; n++ {
+		perNode := cfg.SPEs / cfg.Nodes
+		var eps []int
+		for i := n * perNode; i < (n+1)*perNode; i++ {
+			eps = append(eps, lseEP(i))
+		}
+		var peers []int
+		for k := 1; k < cfg.Nodes; k++ {
+			peers = append(peers, cfg.dseEP((n+k)%cfg.Nodes))
+		}
+		d := dta.NewDSE(cfg.DSE, cfg.dseEP(n), n, m.net, eps, cfg.LSE.NumFrames, peers)
+		d.Attach(m.eng.Register(d))
+		m.net.Register(cfg.dseEP(n), d)
+		m.dses = append(m.dses, d)
+	}
+
+	// PPE last: it observes the cycle's traffic before deciding to stop.
+	m.ppe = NewPPE(cfg.ppeEP(), cfg.dseEP(0), lseEP, m.net, m.eng,
+		prog.Entry, prog.EntryArgs, prog.ExpectTokens)
+	m.ppe.Attach(m.eng.Register(m.ppe))
+	m.net.Register(cfg.ppeEP(), m.ppe)
+	m.ppe.Fault = m.fail
+
+	// Initial memory image.
+	for _, seg := range prog.Segments {
+		if err := m.memory.Store().WriteBytes(seg.Addr, seg.Data); err != nil {
+			return nil, fmt.Errorf("cell: loading segment at %#x: %w", seg.Addr, err)
+		}
+	}
+	return m, nil
+}
+
+// planLayout computes the local-store map and checks capacities.
+func planLayout(cfg Config, prog *program.Program) (Layout, error) {
+	codeBytes := (prog.CodeLen()*8 + 255) &^ 255
+	frameBytes := cfg.LSE.NumFrames * dta.FrameBytes
+	heapBase := codeBytes + frameBytes
+	heapBytes := cfg.LS.SizeBytes - heapBase
+	if heapBytes < 0 {
+		return Layout{}, fmt.Errorf("cell: local store too small: code %d + frames %d > %d",
+			codeBytes, frameBytes, cfg.LS.SizeBytes)
+	}
+	if maxPF := prog.MaxPrefetchBytes(); maxPF > heapBytes {
+		return Layout{}, fmt.Errorf("cell: prefetch buffer %d B exceeds heap %d B",
+			maxPF, heapBytes)
+	}
+	return Layout{
+		CodeBytes: codeBytes, FrameBase: codeBytes,
+		FrameBytes: frameBytes, HeapBase: heapBase, HeapBytes: heapBytes,
+	}, nil
+}
+
+// loadCode materialises the program's encoded instructions in the LS
+// code region (the SPU fetches from the template structures; the bytes
+// make the layout faithful and debuggable).
+func loadCode(store *ls.LocalStore, prog *program.Program) error {
+	addr := int64(0)
+	for _, t := range prog.Templates {
+		for k := program.BlockKind(0); k < program.NumBlocks; k++ {
+			for _, ins := range t.Blocks[k] {
+				if err := store.Write64(addr, int64(ins.Encode())); err != nil {
+					return fmt.Errorf("cell: code overflows local store at %#x", addr)
+				}
+				addr += 8
+			}
+		}
+	}
+	return nil
+}
+
+// dmaBusy reports whether any MFC still has commands queued or in
+// flight.
+func (m *Machine) dmaBusy() bool {
+	for _, spe := range m.spes {
+		if spe.MFC.Busy() {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) fail(err error) {
+	if m.faultErr == nil {
+		m.faultErr = err
+	}
+	m.eng.Stop()
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Cycles   sim.Cycle
+	Tokens   []int64
+	SPUs     []stats.SPU
+	Agg      stats.SPU // sum over SPUs
+	LSEs     []dta.LSEStats
+	MFCs     []mfc.Stats
+	DSEs     []dta.DSEStats
+	Mem      mem.Stats
+	Net      noc.Stats
+	Trace    *trace.Buffer // non-nil when Config.TraceCap > 0
+	CheckErr error         // result of the program's functional check
+}
+
+// AvgBreakdownPct returns the average SPU breakdown in percent (the
+// paper's Figure 5 view).
+func (r *Result) AvgBreakdownPct() [stats.NumBuckets]float64 {
+	var out [stats.NumBuckets]float64
+	total := r.Agg.Breakdown.Total()
+	if total == 0 {
+		return out
+	}
+	for b := stats.Bucket(0); b < stats.NumBuckets; b++ {
+		out[b] = 100 * float64(r.Agg.Breakdown[b]) / float64(total)
+	}
+	return out
+}
+
+// PipelineUsage returns the machine-wide issue-slot utilisation.
+func (r *Result) PipelineUsage() float64 { return r.Agg.PipelineUsage() }
+
+// Run executes the program to completion and gathers statistics.
+func (m *Machine) Run() (*Result, error) {
+	end, err := m.eng.Run(m.cfg.MaxCycles)
+	if m.faultErr == nil && err == nil && m.ppe.Done() && m.dmaBusy() {
+		// The activity completed but write-back DMA is still in flight:
+		// drain it so the memory image is final (runs until quiescent).
+		m.eng.Resume()
+		end, err = m.eng.Run(m.cfg.MaxCycles)
+	}
+	if m.faultErr != nil {
+		return nil, fmt.Errorf("cell: machine fault at cycle %d: %w", end, m.faultErr)
+	}
+	if err != nil {
+		var dl *sim.ErrDeadlock
+		if errors.As(err, &dl) && m.ppe.Done() {
+			// All tokens arrived and the system drained: a benign end.
+		} else {
+			return nil, err
+		}
+	}
+	res := &Result{Cycles: end, Tokens: m.ppe.Tokens(), Mem: m.memory.Stats(),
+		Net: m.net.Stats(), Trace: m.tracer}
+	for _, spe := range m.spes {
+		spe.SPU.Finalize(end)
+		st := spe.SPU.Stats()
+		res.SPUs = append(res.SPUs, st)
+		res.Agg.Merge(st)
+		res.LSEs = append(res.LSEs, spe.LSE.Stats())
+		res.MFCs = append(res.MFCs, spe.MFC.Stats())
+	}
+	for _, d := range m.dses {
+		res.DSEs = append(res.DSEs, d.Stats())
+	}
+	if m.prog.Check != nil {
+		res.CheckErr = m.prog.Check(mem.Reader{S: m.memory.Store()}, res.Tokens)
+	}
+	return res, nil
+}
+
+// MemReader exposes the post-run memory image.
+func (m *Machine) MemReader() program.MemReader { return mem.Reader{S: m.memory.Store()} }
+
+// SPEs exposes the machine's processing elements (for tests and tools).
+func (m *Machine) SPEs() []*SPE { return m.spes }

@@ -1,0 +1,57 @@
+// Package core anchors the paper's primary contribution inside the
+// repository layout. The DMA-prefetching mechanism itself is implemented
+// across two packages:
+//
+//   - repro/internal/prefetch — the compiler side (§3): PF-block
+//     synthesis from region annotations, READ→local-store rewriting,
+//     and the write-back extension;
+//   - repro/internal/dta — the architecture side (§2–§3): frames and
+//     synchronisation counters, the LSE/DSE distributed scheduler, and
+//     the two thread states added for prefetching ("Program DMA",
+//     "Wait for DMA").
+//
+// This package re-exports the central types so that the conceptual core
+// is importable from one place; the substrates (sim, isa, noc, mem, ls,
+// mfc, spu, cell) live alongside it.
+package core
+
+import (
+	"repro/internal/dta"
+	"repro/internal/prefetch"
+	"repro/internal/program"
+)
+
+// Transform is the paper's compiler pass (see prefetch.Transform).
+var Transform = prefetch.Transform
+
+// TransformWithOptions adds the write-back extension (ablation A7).
+var TransformWithOptions = prefetch.TransformWithOptions
+
+// Re-exported core types.
+type (
+	// Program is a DTA program: templates, regions, memory image.
+	Program = program.Program
+	// Template is one thread type with PF/PL/EX/PS code blocks.
+	Template = program.Template
+	// Region is a declared global-data block for the prefetcher.
+	Region = program.Region
+	// Thread is a live DTA thread (frame + synchronisation counter).
+	Thread = dta.Thread
+	// ThreadState is the lifetime state of paper Figure 4.
+	ThreadState = dta.ThreadState
+	// LSE is the per-PE Local Scheduler Element.
+	LSE = dta.LSE
+	// DSE is the per-node Distributed Scheduler Element.
+	DSE = dta.DSE
+)
+
+// Thread lifetime states (paper Figure 4), including the two states the
+// prefetching mechanism adds.
+const (
+	StateWaitStores = dta.StateWaitStores
+	StateProgramDMA = dta.StateProgramDMA // added by the paper
+	StateWaitDMA    = dta.StateWaitDMA    // added by the paper
+	StateReady      = dta.StateReady
+	StateRunning    = dta.StateRunning
+	StateDone       = dta.StateDone
+)

@@ -1,0 +1,66 @@
+// Package dta implements the DTA-specific hardware of the paper: frame
+// memory bookkeeping with per-thread synchronisation counters (SC), the
+// Local Scheduler Element (LSE, one per SPE) and the Distributed
+// Scheduler Element (DSE, one per node), together forming the hardware
+// Distributed Scheduler. It also implements the thread lifetime of paper
+// Figure 4, including the two states added for prefetching ("Program
+// DMA" and "Wait for DMA"), and the virtual-frame-pointer extension of
+// DTA-C (ref. [6]) that the paper's CellDTA lacked.
+package dta
+
+import "fmt"
+
+// FP handles are 64-bit values flowing through registers and frames.
+//
+//	mailbox: -1 (all ones)
+//	physical frame: fpBit | spe<<24 | slot
+//	virtual frame:  fpBit | vfpBit | spe<<24 | index
+const (
+	fpBit  = int64(1) << 62
+	vfpBit = int64(1) << 61
+
+	// MailboxFP designates the PPE mailbox (see program.MailboxFP).
+	MailboxFP = int64(-1)
+)
+
+// MakeFP encodes a physical frame pointer.
+func MakeFP(spe, slot int) int64 {
+	return fpBit | int64(spe)<<24 | int64(slot)
+}
+
+// MakeVFP encodes a virtual frame pointer.
+func MakeVFP(spe, index int) int64 {
+	return fpBit | vfpBit | int64(spe)<<24 | int64(index)
+}
+
+// IsMailbox reports whether v is the mailbox FP.
+func IsMailbox(v int64) bool { return v == MailboxFP }
+
+// IsFP reports whether v encodes a (physical or virtual) frame pointer.
+func IsFP(v int64) bool { return v != MailboxFP && v&fpBit != 0 }
+
+// IsVFP reports whether v encodes a virtual frame pointer.
+func IsVFP(v int64) bool { return IsFP(v) && v&vfpBit != 0 }
+
+// SplitFP decodes a frame pointer into SPE and slot/index.
+func SplitFP(v int64) (spe, slot int, err error) {
+	if !IsFP(v) {
+		return 0, 0, fmt.Errorf("dta: %#x is not a frame pointer", v)
+	}
+	return int(v >> 24 & 0xFFFFF), int(v & 0xFFFFFF), nil
+}
+
+// FPString renders a frame pointer for diagnostics.
+func FPString(v int64) string {
+	if IsMailbox(v) {
+		return "FP(mailbox)"
+	}
+	if !IsFP(v) {
+		return fmt.Sprintf("FP(invalid %#x)", v)
+	}
+	spe, slot, _ := SplitFP(v)
+	if IsVFP(v) {
+		return fmt.Sprintf("VFP(spe=%d idx=%d)", spe, slot)
+	}
+	return fmt.Sprintf("FP(spe=%d slot=%d)", spe, slot)
+}

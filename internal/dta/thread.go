@@ -1,0 +1,64 @@
+package dta
+
+import "fmt"
+
+// ThreadState is the lifetime state of paper Figure 4. "Wait for frame"
+// happens on the creator's side (the FALLOC round trip) and therefore
+// has no state here; a Thread object exists once its frame is allocated.
+type ThreadState uint8
+
+const (
+	StateWaitStores ThreadState = iota // SC > 0: inputs still arriving
+	StateWaitBuffer                    // SC == 0 but the prefetch heap is full
+	StateProgramDMA                    // queued for / executing its PF block
+	StateWaitDMA                       // PF issued; waiting for the tag group to drain
+	StateReady                         // all data local; waiting for the pipeline
+	StateRunning                       // executing PL/EX/PS
+	StateDone                          // STOP executed
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case StateWaitStores:
+		return "wait-stores"
+	case StateWaitBuffer:
+		return "wait-buffer"
+	case StateProgramDMA:
+		return "program-dma"
+	case StateWaitDMA:
+		return "wait-dma"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Thread is one DTA thread instance. Its identity is the object; the
+// frame slot is released at FFREE and may be reused while the thread is
+// still executing its EX/PS blocks.
+type Thread struct {
+	Seq      int64 // unique per LSE; doubles as the MFC tag group
+	Slot     int   // frame slot index on the owning SPE (-1 after FFREE)
+	SPE      int
+	Template int
+	State    ThreadState
+	SC       int // outstanding input stores
+
+	BufAddr  int // prefetch buffer LS address (when PrefetchBytes > 0)
+	BufBytes int
+
+	// Virtual-frame-pointer bookkeeping: when the thread was allocated
+	// on behalf of a VFP, the owner LSE endpoint and VFP index are kept
+	// so the binding can be released when the thread completes.
+	VFPOwner int // owner LSE endpoint id, -1 when not VFP-created
+	VFPIndex int
+}
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread{seq=%d spe=%d slot=%d tmpl=%d %s sc=%d}",
+		t.Seq, t.SPE, t.Slot, t.Template, t.State, t.SC)
+}

@@ -1,0 +1,315 @@
+// Package harness defines one runnable experiment per table and figure
+// of the paper's evaluation (§4), plus the ablations listed in
+// DESIGN.md. Each experiment prints the same rows/series the paper
+// reports and returns machine-readable metrics so the benchmark suite
+// and EXPERIMENTS.md generation can assert on shapes.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/prefetch"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	SPEs    int  // default 8 (the paper's platform)
+	Latency int  // memory latency; default 150 (paper Table 2)
+	Quick   bool // shrink problem sizes for fast test runs
+	Seed    uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SPEs == 0 {
+		o.SPEs = 8
+	}
+	if o.Latency == 0 {
+		o.Latency = 150
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Outcome is an experiment's result: rendered tables plus named metrics.
+type Outcome struct {
+	Tables  []*stats.Table
+	Notes   []string
+	Metrics map[string]float64
+}
+
+// Print renders the outcome.
+func (o *Outcome) Print(w io.Writer) {
+	for _, t := range o.Tables {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, n := range o.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// Experiment reproduces one paper table/figure.
+type Experiment struct {
+	ID    string // e.g. "fig5a"
+	Title string
+	Paper string // the shape the paper reports, for side-by-side reading
+	Run   func(ctx *Context) (*Outcome, error)
+}
+
+var experiments []*Experiment
+
+func register(e *Experiment) { experiments = append(experiments, e) }
+
+// presentation order: the paper's tables and figures first, then the
+// ablations (init order across files is alphabetical, so registration
+// order alone is not the paper's order).
+var order = []string{
+	"table2", "table3", "table4",
+	"fig5a", "fig5b", "table5",
+	"fig6", "fig7", "fig8", "fig9", "lat1",
+	"ablation-vfp", "ablation-dmalat", "ablation-buses",
+	"ablation-memlat", "ablation-nodes", "ablation-granularity",
+	"ablation-writeback",
+}
+
+// All returns the registered experiments in paper presentation order.
+func All() []*Experiment {
+	rank := make(map[string]int, len(order))
+	for i, id := range order {
+		rank[id] = i
+	}
+	out := append([]*Experiment(nil), experiments...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iok := rank[out[i].ID]
+		rj, jok := rank[out[j].ID]
+		if iok && jok {
+			return ri < rj
+		}
+		return iok // ranked ones first, unranked keep registration order
+	})
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (*Experiment, bool) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// IDs lists experiment ids in order.
+func IDs() []string {
+	var ids []string
+	for _, e := range experiments {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// Context carries options and a run cache shared across experiments (the
+// same benchmark run feeds several figures, as in the paper).
+type Context struct {
+	Opt   Options
+	cache map[runKey]*cell.Result
+	progs map[progKey]*program.Program
+}
+
+// NewContext prepares a context.
+func NewContext(opt Options) *Context {
+	return &Context{
+		Opt:   opt.withDefaults(),
+		cache: make(map[runKey]*cell.Result),
+		progs: make(map[progKey]*program.Program),
+	}
+}
+
+type runKey struct {
+	bench    string
+	spes     int
+	latency  int
+	prefetch bool
+	nodes    int
+	dmaLat   int
+	buses    int
+	vfp      bool
+	frames   int
+	chunked  bool
+}
+
+type progKey struct {
+	bench    string
+	spes     int
+	prefetch bool
+	chunked  bool
+}
+
+// benchParams returns the paper's problem sizes (or quick ones).
+func (c *Context) benchParams(bench string, spes int) workloads.Params {
+	w, ok := workloads.Get(bench)
+	if !ok {
+		panic("harness: unknown benchmark " + bench)
+	}
+	n := w.DefaultN
+	if c.Opt.Quick {
+		switch bench {
+		case "bitcnt":
+			n = 400
+		default:
+			n = 16
+		}
+	}
+	p := workloads.Params{N: n, Seed: c.Opt.Seed}
+	switch bench {
+	case "bitcnt":
+		// chunking is fixed by the workload default
+	default:
+		p.Workers = workloads.AutoWorkers(spes, 32)
+	}
+	return p
+}
+
+// buildProgram builds (and caches) a benchmark program variant.
+func (c *Context) buildProgram(bench string, spes int, pf, chunked bool) (*program.Program, error) {
+	key := progKey{bench, spes, pf, chunked}
+	if p, ok := c.progs[key]; ok {
+		return p, nil
+	}
+	w, _ := workloads.Get(bench)
+	prog, err := w.Build(c.benchParams(bench, spes))
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", bench, err)
+	}
+	if !chunked {
+		// Ablation A6: fetch whole regions with single DMA commands.
+		for _, t := range prog.Templates {
+			for i := range t.Regions {
+				t.Regions[i].ChunkBytes = 0
+			}
+		}
+	}
+	if pf {
+		prog, err = prefetch.Transform(prog)
+		if err != nil {
+			return nil, fmt.Errorf("transform %s: %w", bench, err)
+		}
+	}
+	c.progs[key] = prog
+	return prog, nil
+}
+
+// variant describes one machine configuration knob set for run().
+type variant struct {
+	nodes  int
+	dmaLat int // -1 = default
+	buses  int // 0 = default
+	vfp    bool
+	frames int // 0 = default frame count per LSE
+}
+
+// run executes (with caching) one benchmark configuration.
+func (c *Context) run(bench string, spes int, prefetchOn bool, v variant) (*cell.Result, error) {
+	chunked := true
+	key := runKey{bench, spes, c.Opt.Latency, prefetchOn, v.nodes, v.dmaLat, v.buses, v.vfp, v.frames, chunked}
+	if r, ok := c.cache[key]; ok {
+		return r, nil
+	}
+	prog, err := c.buildProgram(bench, spes, prefetchOn, chunked)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.execute(prog, spes, v)
+	if err != nil {
+		return nil, fmt.Errorf("%s spes=%d pf=%v: %w", bench, spes, prefetchOn, err)
+	}
+	c.cache[key] = res
+	return res, nil
+}
+
+// runUnchunked is run() with single-command region fetches (A6).
+func (c *Context) runUnchunked(bench string, spes int, prefetchOn bool) (*cell.Result, error) {
+	key := runKey{bench, spes, c.Opt.Latency, prefetchOn, 0, -1, 0, false, 0, false}
+	if r, ok := c.cache[key]; ok {
+		return r, nil
+	}
+	prog, err := c.buildProgram(bench, spes, prefetchOn, false)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.execute(prog, spes, variant{dmaLat: -1})
+	if err != nil {
+		return nil, err
+	}
+	c.cache[key] = res
+	return res, nil
+}
+
+func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Result, error) {
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = spes
+	cfg.Mem.Latency = c.Opt.Latency
+	if c.Opt.Latency == 1 {
+		// The paper's "all memory latencies set to one cycle" study
+		// (§4.3) models the best case "when cache accesses would always
+		// hit": READ/WRITE become 1-cycle ideal-cache accesses and the
+		// local store is idealised to match.
+		cfg.LS.Latency = 1
+		cfg.SPU.PerfectCacheLat = 1
+	}
+	if v.nodes > 0 {
+		cfg.Nodes = v.nodes
+	}
+	if v.dmaLat >= 0 {
+		cfg.MFC.CmdLatency = v.dmaLat
+	}
+	if v.buses > 0 {
+		cfg.Noc.Buses = v.buses
+	}
+	cfg.LSE.VirtualFP = v.vfp
+	if v.frames > 0 {
+		cfg.LSE.NumFrames = v.frames
+	}
+	m, err := cell.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	if res.CheckErr != nil {
+		return nil, fmt.Errorf("functional check: %w", res.CheckErr)
+	}
+	return res, nil
+}
+
+// defaultVariant keeps all knobs at paper values.
+func defaultVariant() variant { return variant{dmaLat: -1} }
+
+// benchmarks is the paper's evaluation set, in presentation order.
+var benchmarks = []string{"bitcnt", "mmul", "zoom"}
+
+// benchLabel renders "bitcnt(10000)"-style labels.
+func (c *Context) benchLabel(bench string) string {
+	return fmt.Sprintf("%s(%d)", bench, c.benchParams(bench, c.Opt.SPEs).N)
+}
+
+// sortedKeys is a helper for deterministic metric listings.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,196 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEveryOpcodeHasMetadata(t *testing.T) {
+	for op := Op(0); op < Op(OpCount); op++ {
+		info, ok := Lookup(op)
+		if !ok {
+			t.Fatalf("opcode %d has no metadata", op)
+		}
+		if info.Name == "" {
+			t.Fatalf("opcode %d has empty name", op)
+		}
+		if info.Unit == UnitNone {
+			t.Fatalf("opcode %s has no functional unit", info.Name)
+		}
+		back, ok := ByName(info.Name)
+		if !ok || back != op {
+			t.Fatalf("ByName(%q) = %v, %v; want %v", info.Name, back, ok, op)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup(Op(250)); ok {
+		t.Fatal("Lookup accepted an undefined opcode")
+	}
+	if got := Op(250).String(); !strings.Contains(got, "250") {
+		t.Fatalf("String for unknown op = %q", got)
+	}
+}
+
+func TestEncodeDecodeRoundTripAllOps(t *testing.T) {
+	for op := Op(0); op < Op(OpCount); op++ {
+		ins := Instruction{Op: op, Rd: 3, Ra: 7, Rb: 11, Imm: -12345}
+		got := Decode(ins.Encode())
+		if got != ins {
+			t.Fatalf("round trip failed for %s: %+v != %+v", op, got, ins)
+		}
+	}
+}
+
+// Property: Decode(Encode(x)) == x for arbitrary field values, including
+// ill-formed instructions (encoding is total).
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(op, rd, ra, rb uint8, imm int32) bool {
+		ins := Instruction{Op: Op(op), Rd: rd, Ra: ra, Rb: rb, Imm: imm}
+		return Decode(ins.Encode()) == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	cases := []Instruction{
+		{Op: NOP},
+		{Op: MOVI, Rd: 5, Imm: -7},
+		{Op: ADD, Rd: 1, Ra: 2, Rb: 3},
+		{Op: ADDI, Rd: 1, Ra: 2, Imm: 100},
+		{Op: BEQ, Ra: 1, Rb: 2, Imm: 12},
+		{Op: JMP, Imm: 3},
+		{Op: LOAD, Rd: 9, Imm: 4},
+		{Op: STORE, Rd: 9, Ra: 10, Imm: 4},
+		{Op: READ, Rd: 9, Ra: 10, Imm: 0},
+		{Op: LSRDX, Rd: 9, Ra: 10, Rb: 11, Imm: 8},
+		{Op: FALLOC, Rd: 2, Imm: mustPack(t, 3, 4)},
+		{Op: FFREE},
+		{Op: STOP},
+		{Op: MFCLSA, Ra: 80},
+		{Op: MFCGET},
+		{Op: MFCSTAT, Rd: 1},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", c, err)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		name string
+	}{
+		{Instruction{Op: Op(200)}, "unknown opcode"},
+		{Instruction{Op: ADD, Rd: 128, Ra: 1, Rb: 2}, "rd out of range"},
+		{Instruction{Op: ADD, Rd: 1, Ra: 200, Rb: 2}, "ra out of range"},
+		{Instruction{Op: NOP, Rd: 1}, "unused rd set"},
+		{Instruction{Op: MOVI, Rd: 1, Ra: 2, Imm: 5}, "unused ra set"},
+		{Instruction{Op: ADD, Rd: 1, Ra: 2, Rb: 3, Imm: 9}, "unused imm set"},
+		{Instruction{Op: FALLOC, Rd: 1, Imm: -1}, "negative falloc packing"},
+	}
+	for _, c := range cases {
+		if err := c.ins.Validate(); err == nil {
+			t.Errorf("Validate accepted %s (%s)", c.ins, c.name)
+		}
+	}
+}
+
+func mustPack(t *testing.T, tmpl, sc int) int32 {
+	t.Helper()
+	imm, err := PackFalloc(tmpl, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return imm
+}
+
+func TestPackUnpackFalloc(t *testing.T) {
+	imm, err := PackFalloc(300, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, sc := UnpackFalloc(imm)
+	if tmpl != 300 || sc != 17 {
+		t.Fatalf("unpack = (%d, %d), want (300, 17)", tmpl, sc)
+	}
+	if _, err := PackFalloc(0x8000, 0); err == nil {
+		t.Fatal("PackFalloc accepted template > 15 bits")
+	}
+	if _, err := PackFalloc(0, 0x10000); err == nil {
+		t.Fatal("PackFalloc accepted sc > 16 bits")
+	}
+	if _, err := PackFalloc(-1, 0); err == nil {
+		t.Fatal("PackFalloc accepted negative template")
+	}
+}
+
+// Property: pack/unpack round-trips over the whole legal domain.
+func TestPackFallocRoundTripProperty(t *testing.T) {
+	f := func(tmplRaw, scRaw uint16) bool {
+		tmpl := int(tmplRaw & 0x7FFF)
+		sc := int(scRaw)
+		imm, err := PackFalloc(tmpl, sc)
+		if err != nil {
+			return false
+		}
+		gt, gs := UnpackFalloc(imm)
+		return gt == tmpl && gs == sc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		want string
+	}{
+		{Instruction{Op: NOP}, "nop"},
+		{Instruction{Op: MOVI, Rd: 4, Imm: -2}, "movi r4, -2"},
+		{Instruction{Op: ADD, Rd: 1, Ra: 2, Rb: 3}, "add r1, r2, r3"},
+		{Instruction{Op: BEQ, Ra: 5, Rb: 6, Imm: 10}, "beq r5, r6, 10"},
+		{Instruction{Op: JMP, Imm: 2}, "jmp 2"},
+		{Instruction{Op: STORE, Rd: 7, Ra: 8, Imm: 3}, "store r7, r8, 3"},
+		{Instruction{Op: LSRDX, Rd: 1, Ra: 2, Rb: 3, Imm: 4}, "lsrdx r1, r2, r3, 4"},
+		{Instruction{Op: MFCLSA, Ra: 9}, "mfclsa r9"},
+		{Instruction{Op: MFCSTAT, Rd: 2}, "mfcstat r2"},
+		{Instruction{Op: FALLOC, Rd: 2, Imm: 3<<16 | 4}, "falloc r2, 3, 4"},
+	}
+	for _, c := range cases {
+		if got := c.ins.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestMemSlotClassification(t *testing.T) {
+	memOps := []Op{LOAD, STORE, READ, WRITE, LSRD, LSWRX8, FALLOC, FFREE, STOP, MFCGET, MFCSTAT}
+	for _, op := range memOps {
+		if !MustInfo(op).Unit.MemSlot() {
+			t.Errorf("%s should issue in the memory slot", op)
+		}
+	}
+	computeOps := []Op{NOP, ADD, MUL, SHL, CMPEQ, JMP, BEQ, MOVI}
+	for _, op := range computeOps {
+		if MustInfo(op).Unit.MemSlot() {
+			t.Errorf("%s should issue in the compute slot", op)
+		}
+	}
+}
+
+func TestMustInfoPanicsOnUndefined(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInfo did not panic for undefined opcode")
+		}
+	}()
+	MustInfo(Op(240))
+}

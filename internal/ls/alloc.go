@@ -1,0 +1,118 @@
+package ls
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Align is the allocation granularity of the prefetch heap; DMA targets
+// are 16-byte aligned as on the Cell MFC.
+const Align = 16
+
+type span struct{ addr, size int }
+
+// Allocator manages the prefetch-buffer region of a local store with a
+// first-fit free list and coalescing on free. It is deterministic and
+// detects double-frees and foreign frees.
+type Allocator struct {
+	base, size int
+	free       []span // sorted by addr, non-adjacent
+	live       map[int]int
+	liveBytes  int
+	peakBytes  int
+}
+
+// NewAllocator manages [base, base+size).
+func NewAllocator(base, size int) *Allocator {
+	if size < 0 || base < 0 {
+		panic("ls: negative allocator region")
+	}
+	a := &Allocator{base: base, size: size, live: make(map[int]int)}
+	if size > 0 {
+		a.free = []span{{addr: base, size: size}}
+	}
+	return a
+}
+
+func roundUp(n int) int {
+	if n <= 0 {
+		return Align
+	}
+	return (n + Align - 1) &^ (Align - 1)
+}
+
+// Alloc reserves n bytes (rounded up to Align) and returns the address.
+// ok is false when no contiguous span fits.
+func (a *Allocator) Alloc(n int) (addr int, ok bool) {
+	n = roundUp(n)
+	for i := range a.free {
+		if a.free[i].size >= n {
+			addr = a.free[i].addr
+			a.free[i].addr += n
+			a.free[i].size -= n
+			if a.free[i].size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			a.live[addr] = n
+			a.liveBytes += n
+			if a.liveBytes > a.peakBytes {
+				a.peakBytes = a.liveBytes
+			}
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// Free releases the allocation at addr. It panics on double-free or on
+// an address that was never allocated (these are machine bugs, not
+// recoverable conditions).
+func (a *Allocator) Free(addr int) {
+	n, ok := a.live[addr]
+	if !ok {
+		panic(fmt.Sprintf("ls: free of unallocated address %#x", addr))
+	}
+	delete(a.live, addr)
+	a.liveBytes -= n
+	// Insert keeping the list sorted, then coalesce with neighbours.
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr > addr })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{addr: addr, size: n}
+	// Coalesce with next.
+	if i+1 < len(a.free) && a.free[i].addr+a.free[i].size == a.free[i+1].addr {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	// Coalesce with previous.
+	if i > 0 && a.free[i-1].addr+a.free[i-1].size == a.free[i].addr {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// LiveBytes returns the currently allocated byte count.
+func (a *Allocator) LiveBytes() int { return a.liveBytes }
+
+// PeakBytes returns the high-water mark of allocated bytes.
+func (a *Allocator) PeakBytes() int { return a.peakBytes }
+
+// FreeBytes returns the total free capacity (possibly fragmented).
+func (a *Allocator) FreeBytes() int {
+	total := 0
+	for _, s := range a.free {
+		total += s.size
+	}
+	return total
+}
+
+// LargestFree returns the largest contiguous free span.
+func (a *Allocator) LargestFree() int {
+	max := 0
+	for _, s := range a.free {
+		if s.size > max {
+			max = s.size
+		}
+	}
+	return max
+}

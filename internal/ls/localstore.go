@@ -1,0 +1,165 @@
+// Package ls models the per-SPE Local Store of the CellDTA machine
+// (paper Table 2: 156 kB, 6-cycle latency, 3 ports). The local store
+// holds thread code, the frames managed by the LSE, and the prefetch
+// buffers that the DMA engine fills with global data.
+//
+// Three ports mirror the paper's configuration: one serves the SPU's
+// LOAD/STORE/LSRD/LSWR accesses, one serves DMA traffic from the MFC and
+// one serves the LSE's frame writes (arriving remote stores), so DMA and
+// scheduler traffic do not steal SPU bandwidth (which is why the paper
+// sees LS stalls "mostly hidden").
+package ls
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Port selects one of the local store's access ports.
+type Port int
+
+const (
+	PortSPU Port = iota // SPU pipeline accesses
+	PortMFC             // DMA engine reads/writes
+	PortLSE             // frame writes from the scheduler
+	NumPorts
+)
+
+func (p Port) String() string {
+	switch p {
+	case PortSPU:
+		return "spu"
+	case PortMFC:
+		return "mfc"
+	case PortLSE:
+		return "lse"
+	}
+	return fmt.Sprintf("port(%d)", int(p))
+}
+
+// Config holds the local-store parameters.
+type Config struct {
+	SizeBytes int // 156 kB in the paper
+	Latency   int // access latency in cycles (6)
+	PortWidth int // bytes per port per cycle (16)
+}
+
+// DefaultConfig returns the paper's local-store parameters.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 156 * 1024, Latency: 6, PortWidth: 16}
+}
+
+// Stats aggregates local-store activity.
+type Stats struct {
+	Accesses   [NumPorts]int64
+	Bytes      [NumPorts]int64
+	Contention [NumPorts]int64 // cycles requests waited for a busy port
+}
+
+// LocalStore is the functional and timing model of one SPE's local
+// store. It is passive: co-located components call Access for timing and
+// the Read*/Write* methods for data.
+type LocalStore struct {
+	cfg      Config
+	data     []byte
+	portFree [NumPorts]sim.Cycle
+	stats    Stats
+}
+
+// New returns a zeroed local store.
+func New(cfg Config) *LocalStore {
+	if cfg.SizeBytes <= 0 || cfg.PortWidth <= 0 {
+		panic("ls: non-positive configuration")
+	}
+	return &LocalStore{cfg: cfg, data: make([]byte, cfg.SizeBytes)}
+}
+
+// Size returns the capacity in bytes.
+func (l *LocalStore) Size() int { return l.cfg.SizeBytes }
+
+// Latency returns the configured access latency.
+func (l *LocalStore) Latency() int { return l.cfg.Latency }
+
+// Stats returns a copy of the accumulated statistics.
+func (l *LocalStore) Stats() Stats { return l.stats }
+
+// Access books an n-byte access on port starting no earlier than now and
+// returns the cycle at which the data is available (for reads) or
+// durably written (for writes). Port occupancy is ceil(n/PortWidth)
+// cycles; the pipeline latency is added on top.
+func (l *LocalStore) Access(port Port, now sim.Cycle, n int) sim.Cycle {
+	occ := sim.Cycle((n + l.cfg.PortWidth - 1) / l.cfg.PortWidth)
+	if occ < 1 {
+		occ = 1
+	}
+	start := now
+	if l.portFree[port] > start {
+		l.stats.Contention[port] += int64(l.portFree[port] - start)
+		start = l.portFree[port]
+	}
+	l.portFree[port] = start + occ
+	l.stats.Accesses[port]++
+	l.stats.Bytes[port] += int64(n)
+	return start + occ - 1 + sim.Cycle(l.cfg.Latency)
+}
+
+func (l *LocalStore) check(addr int64, n int) error {
+	if addr < 0 || addr+int64(n) > int64(len(l.data)) {
+		return fmt.Errorf("ls: access [%#x,%#x) outside [0,%#x)", addr, addr+int64(n), len(l.data))
+	}
+	return nil
+}
+
+// ReadBytes fills buf from addr.
+func (l *LocalStore) ReadBytes(addr int64, buf []byte) error {
+	if err := l.check(addr, len(buf)); err != nil {
+		return err
+	}
+	copy(buf, l.data[addr:])
+	return nil
+}
+
+// WriteBytes copies data to addr.
+func (l *LocalStore) WriteBytes(addr int64, data []byte) error {
+	if err := l.check(addr, len(data)); err != nil {
+		return err
+	}
+	copy(l.data[addr:], data)
+	return nil
+}
+
+// Read32 returns the sign-extended 32-bit word at addr.
+func (l *LocalStore) Read32(addr int64) (int64, error) {
+	if err := l.check(addr, 4); err != nil {
+		return 0, err
+	}
+	return int64(int32(binary.LittleEndian.Uint32(l.data[addr:]))), nil
+}
+
+// Read64 returns the 64-bit word at addr.
+func (l *LocalStore) Read64(addr int64) (int64, error) {
+	if err := l.check(addr, 8); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(l.data[addr:])), nil
+}
+
+// Write32 stores the low 32 bits of v at addr.
+func (l *LocalStore) Write32(addr int64, v int64) error {
+	if err := l.check(addr, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(l.data[addr:], uint32(v))
+	return nil
+}
+
+// Write64 stores v at addr.
+func (l *LocalStore) Write64(addr int64, v int64) error {
+	if err := l.check(addr, 8); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(l.data[addr:], uint64(v))
+	return nil
+}

@@ -1,0 +1,186 @@
+package ls
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestAccessLatencyAndOccupancy(t *testing.T) {
+	l := New(Config{SizeBytes: 1024, Latency: 6, PortWidth: 16})
+	// 8-byte access: 1 cycle occupancy, ready at now+1-1+6.
+	if got := l.Access(PortSPU, 10, 8); got != 16 {
+		t.Fatalf("ready at %d, want 16", got)
+	}
+	// 128-byte access: 8 cycles occupancy.
+	if got := l.Access(PortMFC, 10, 128); got != 10+8-1+6 {
+		t.Fatalf("ready at %d, want %d", got, 10+8-1+6)
+	}
+}
+
+func TestPortContentionQueues(t *testing.T) {
+	l := New(Config{SizeBytes: 1024, Latency: 6, PortWidth: 16})
+	first := l.Access(PortSPU, 0, 64) // 4 cycles occupancy: busy until 4
+	second := l.Access(PortSPU, 1, 8) // must wait until cycle 4
+	if second <= first-2 {
+		t.Fatalf("second access at %d did not queue behind first (%d)", second, first)
+	}
+	if got := l.Stats().Contention[PortSPU]; got != 3 {
+		t.Fatalf("contention = %d, want 3", got)
+	}
+}
+
+func TestPortsAreIndependent(t *testing.T) {
+	l := New(Config{SizeBytes: 1024, Latency: 6, PortWidth: 16})
+	l.Access(PortSPU, 0, 64)
+	ready := l.Access(PortMFC, 0, 8) // different port: no queueing
+	if ready != 6 {
+		t.Fatalf("MFC access ready at %d, want 6", ready)
+	}
+	if l.Stats().Contention[PortMFC] != 0 {
+		t.Fatal("unexpected cross-port contention")
+	}
+}
+
+func TestFunctionalRoundTrip(t *testing.T) {
+	l := New(DefaultConfig())
+	if err := l.Write64(128, -99); err != nil {
+		t.Fatal(err)
+	}
+	v, err := l.Read64(128)
+	if err != nil || v != -99 {
+		t.Fatalf("Read64 = %d, %v", v, err)
+	}
+	if err := l.Write32(200, -7); err != nil {
+		t.Fatal(err)
+	}
+	v, err = l.Read32(200)
+	if err != nil || v != -7 {
+		t.Fatalf("Read32 = %d, %v (sign extension)", v, err)
+	}
+	data := []byte{9, 8, 7}
+	if err := l.WriteBytes(300, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := l.ReadBytes(300, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	l := New(Config{SizeBytes: 256, Latency: 6, PortWidth: 16})
+	if err := l.Write64(252, 1); err == nil {
+		t.Fatal("straddling write accepted")
+	}
+	if _, err := l.Read32(-1); err == nil {
+		t.Fatal("negative read accepted")
+	}
+}
+
+func TestAllocatorBasics(t *testing.T) {
+	a := NewAllocator(0x1000, 4096)
+	p1, ok := a.Alloc(100)
+	if !ok || p1 != 0x1000 {
+		t.Fatalf("Alloc = %#x, %v", p1, ok)
+	}
+	p2, ok := a.Alloc(16)
+	if !ok || p2 != 0x1000+112 { // 100 rounds to 112
+		t.Fatalf("second Alloc = %#x, want %#x", p2, 0x1000+112)
+	}
+	if a.LiveBytes() != 128 {
+		t.Fatalf("LiveBytes = %d", a.LiveBytes())
+	}
+	a.Free(p1)
+	a.Free(p2)
+	if a.LiveBytes() != 0 || a.FreeBytes() != 4096 || a.LargestFree() != 4096 {
+		t.Fatalf("after frees: live=%d free=%d largest=%d",
+			a.LiveBytes(), a.FreeBytes(), a.LargestFree())
+	}
+	if a.PeakBytes() != 128 {
+		t.Fatalf("PeakBytes = %d", a.PeakBytes())
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a := NewAllocator(0, 64)
+	if _, ok := a.Alloc(48); !ok {
+		t.Fatal("first alloc failed")
+	}
+	if _, ok := a.Alloc(32); ok {
+		t.Fatal("over-allocation succeeded")
+	}
+	if _, ok := a.Alloc(16); !ok {
+		t.Fatal("exact-fit tail alloc failed")
+	}
+}
+
+func TestAllocatorDoubleFreePanics(t *testing.T) {
+	a := NewAllocator(0, 256)
+	p, _ := a.Alloc(16)
+	a.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(p)
+}
+
+func TestAllocatorForeignFreePanics(t *testing.T) {
+	a := NewAllocator(0, 256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign free did not panic")
+		}
+	}()
+	a.Free(0x40)
+}
+
+// Property: random alloc/free sequences never hand out overlapping
+// blocks, and freeing everything restores a single maximal span.
+func TestAllocatorProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		const size = 1 << 14
+		a := NewAllocator(0, size)
+		type block struct{ addr, n int }
+		var liveList []block
+		for step := 0; step < 300; step++ {
+			if rng.Intn(2) == 0 || len(liveList) == 0 {
+				n := 1 + rng.Intn(500)
+				addr, ok := a.Alloc(n)
+				if !ok {
+					continue
+				}
+				rounded := roundUp(n)
+				// Overlap check against all live blocks.
+				for _, b := range liveList {
+					if addr < b.addr+b.n && b.addr < addr+rounded {
+						return false
+					}
+				}
+				if addr < 0 || addr+rounded > size {
+					return false
+				}
+				liveList = append(liveList, block{addr, rounded})
+			} else {
+				i := rng.Intn(len(liveList))
+				a.Free(liveList[i].addr)
+				liveList = append(liveList[:i], liveList[i+1:]...)
+			}
+		}
+		for _, b := range liveList {
+			a.Free(b.addr)
+		}
+		return a.FreeBytes() == size && a.LargestFree() == size && a.LiveBytes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

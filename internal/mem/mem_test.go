@@ -1,0 +1,291 @@
+package mem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func TestSparseReadWriteRoundTrip(t *testing.T) {
+	s := NewSparse(1 << 20)
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if err := s.WriteBytes(1000, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadBytes(1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %v, want %v", got, data)
+	}
+}
+
+func TestSparseCrossPageAccess(t *testing.T) {
+	s := NewSparse(1 << 20)
+	addr := int64(pageSize - 3) // straddles the first page boundary
+	data := []byte{10, 20, 30, 40, 50, 60}
+	if err := s.WriteBytes(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadBytes(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %v, want %v", got, data)
+	}
+}
+
+func TestSparseUnwrittenReadsZero(t *testing.T) {
+	s := NewSparse(1 << 20)
+	v, err := s.Read64(0x8000)
+	if err != nil || v != 0 {
+		t.Fatalf("Read64 = %d, %v; want 0, nil", v, err)
+	}
+	if len(s.pages) != 0 {
+		t.Fatal("read allocated pages")
+	}
+}
+
+func TestSparseBoundsChecked(t *testing.T) {
+	s := NewSparse(1024)
+	if err := s.WriteBytes(1020, []byte{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if _, err := s.Read32(-4); err == nil {
+		t.Fatal("negative read accepted")
+	}
+	if _, err := s.Read64(1021); err == nil {
+		t.Fatal("straddling read accepted")
+	}
+}
+
+func TestSparse32SignExtension(t *testing.T) {
+	s := NewSparse(1 << 20)
+	if err := s.Write32(64, -5); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read32(64)
+	if err != nil || v != -5 {
+		t.Fatalf("Read32 = %d, %v; want -5", v, err)
+	}
+}
+
+// Property: a sequence of random writes then reads matches a flat
+// reference buffer.
+func TestSparseMatchesReferenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		const size = 1 << 18
+		s := NewSparse(size)
+		ref := make([]byte, size)
+		for i := 0; i < 50; i++ {
+			addr := int64(rng.Intn(size - 256))
+			n := 1 + rng.Intn(255)
+			data := make([]byte, n)
+			for j := range data {
+				data[j] = byte(rng.Uint32())
+			}
+			if err := s.WriteBytes(addr, data); err != nil {
+				return false
+			}
+			copy(ref[addr:], data)
+		}
+		for i := 0; i < 50; i++ {
+			addr := int64(rng.Intn(size - 256))
+			n := 1 + rng.Intn(255)
+			got := make([]byte, n)
+			if err := s.ReadBytes(addr, got); err != nil {
+				return false
+			}
+			if !bytes.Equal(got, ref[addr:addr+int64(n)]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// harness wires a memory and a recording endpoint into an engine.
+type memHarness struct {
+	e   *sim.Engine
+	net *noc.Network
+	m   *Memory
+	got []noc.Message
+	at  []sim.Cycle
+}
+
+func (h *memHarness) Deliver(now sim.Cycle, msg noc.Message) {
+	h.got = append(h.got, msg)
+	h.at = append(h.at, now)
+}
+
+func (h *memHarness) Name() string { return "client" }
+func (h *memHarness) Tick(now sim.Cycle) sim.Cycle {
+	return sim.Never
+}
+
+func newMemHarness(t *testing.T, cfg Config) *memHarness {
+	t.Helper()
+	h := &memHarness{e: sim.NewEngine()}
+	h.net = noc.New(noc.Config{Buses: 4, BytesPerCyc: 8, HopLatency: 4})
+	h.net.Attach(h.e.Register(h.net))
+	h.m = New(cfg, 100, h.net)
+	h.m.Attach(h.e.Register(h.m))
+	h.net.Register(100, h.m)
+	h.net.Register(1, h)
+	h.e.Register(h)
+	h.m.Fault = func(err error) { t.Fatalf("memory fault: %v", err) }
+	return h
+}
+
+func (h *memHarness) runUntilQuiet(t *testing.T, deadline sim.Cycle) {
+	t.Helper()
+	_, err := h.e.Run(deadline)
+	if _, isDeadlock := err.(*sim.ErrDeadlock); err != nil && !isDeadlock {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestScalarReadLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	h := newMemHarness(t, cfg)
+	if err := h.m.Store().Write32(0x100, 77); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Send(0, noc.Message{Src: 1, Dst: 100, Kind: noc.KindMemRead32, A: 0x100, C: 9})
+	h.runUntilQuiet(t, 10000)
+	if len(h.got) != 1 {
+		t.Fatalf("got %d responses, want 1", len(h.got))
+	}
+	resp := h.got[0]
+	if resp.Kind != noc.KindMemReadResp || resp.B != 77 || resp.C != 9 {
+		t.Fatalf("resp = %v", resp)
+	}
+	// Round trip >= request wire (2+4) + latency 150 + response wire.
+	if h.at[0] < sim.Cycle(cfg.Latency) {
+		t.Fatalf("response at %d, faster than memory latency %d", h.at[0], cfg.Latency)
+	}
+	if h.at[0] > sim.Cycle(cfg.Latency)+30 {
+		t.Fatalf("response at %d, too slow for one access", h.at[0])
+	}
+}
+
+func TestScalarWriteIsFunctional(t *testing.T) {
+	h := newMemHarness(t, DefaultConfig())
+	h.net.Send(0, noc.Message{Src: 1, Dst: 100, Kind: noc.KindMemWrite32, A: 0x80, B: -123})
+	h.runUntilQuiet(t, 10000)
+	v, err := h.m.Store().Read32(0x80)
+	if err != nil || v != -123 {
+		t.Fatalf("stored %d, %v; want -123", v, err)
+	}
+	if h.m.Stats().ScalarWrites != 1 {
+		t.Fatalf("stats = %+v", h.m.Stats())
+	}
+}
+
+func TestBlockReadStreamsPackets(t *testing.T) {
+	cfg := DefaultConfig()
+	h := newMemHarness(t, cfg)
+	want := make([]byte, 300)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	if err := h.m.Store().WriteBytes(0x2000, want); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Send(0, noc.Message{Src: 1, Dst: 100, Kind: noc.KindMemBlockRead, A: 0x2000, B: 300, C: 5})
+	h.runUntilQuiet(t, 100000)
+	// ceil(300/128) = 3 packets.
+	if len(h.got) != 3 {
+		t.Fatalf("got %d packets, want 3", len(h.got))
+	}
+	buf := make([]byte, 300)
+	lastSeen := false
+	for _, p := range h.got {
+		if p.Kind != noc.KindMemBlockData || p.C != 5 {
+			t.Fatalf("packet = %v", p)
+		}
+		copy(buf[p.D:], p.Data)
+		if p.B == 1 {
+			lastSeen = true
+		}
+	}
+	if !lastSeen {
+		t.Fatal("no packet marked last")
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("reassembled data differs")
+	}
+}
+
+func TestBlockWriteAcksOnce(t *testing.T) {
+	h := newMemHarness(t, DefaultConfig())
+	h.net.Send(0, noc.Message{Src: 1, Dst: 100, Kind: noc.KindMemBlockWrite,
+		A: 0x3000, C: 8, D: 0, Data: []byte{1, 2, 3, 4}})
+	h.net.Send(0, noc.Message{Src: 1, Dst: 100, Kind: noc.KindMemBlockWrite,
+		A: 0x3004, B: 1, C: 8, D: 4, Data: []byte{5, 6, 7, 8}})
+	h.runUntilQuiet(t, 100000)
+	acks := 0
+	for _, g := range h.got {
+		if g.Kind == noc.KindMemBlockAck && g.C == 8 {
+			acks++
+		}
+	}
+	if acks != 1 {
+		t.Fatalf("acks = %d, want 1", acks)
+	}
+	got := make([]byte, 8)
+	if err := h.m.Store().ReadBytes(0x3000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("memory content %v", got)
+	}
+}
+
+func TestSinglePortSerialisesServicing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Latency = 10
+	h := newMemHarness(t, cfg)
+	// Two block reads of 512B each: 4 packets x 4 cycles port occupancy.
+	h.net.Send(0, noc.Message{Src: 1, Dst: 100, Kind: noc.KindMemBlockRead, A: 0, B: 512, C: 1})
+	h.net.Send(0, noc.Message{Src: 1, Dst: 100, Kind: noc.KindMemBlockRead, A: 4096, B: 512, C: 2})
+	h.runUntilQuiet(t, 100000)
+	if h.m.Stats().PortBusy != 2*4*4 {
+		t.Fatalf("PortBusy = %d, want 32", h.m.Stats().PortBusy)
+	}
+}
+
+func TestFaultOnBadAccess(t *testing.T) {
+	h := newMemHarness(t, DefaultConfig())
+	var fault error
+	h.m.Fault = func(err error) { fault = err }
+	h.net.Send(0, noc.Message{Src: 1, Dst: 100, Kind: noc.KindMemRead32, A: -8})
+	h.runUntilQuiet(t, 10000)
+	if fault == nil || !strings.Contains(fault.Error(), "outside") {
+		t.Fatalf("fault = %v", fault)
+	}
+}
+
+func TestReaderAdapter(t *testing.T) {
+	s := NewSparse(1 << 16)
+	if err := s.Write32(16, 42); err != nil {
+		t.Fatal(err)
+	}
+	r := Reader{S: s}
+	if r.Read32(16) != 42 {
+		t.Fatal("Read32 through adapter")
+	}
+	if r.Read32(-100) != 0 {
+		t.Fatal("bad address should read zero through adapter")
+	}
+}

@@ -1,0 +1,270 @@
+package mem
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Config holds the main-memory parameters (paper Table 2).
+type Config struct {
+	SizeBytes   int64 // 512 MB
+	Latency     int   // access latency in cycles (150)
+	Ports       int   // concurrent requests entering service (1)
+	PortWidth   int   // bytes a port moves per cycle (32)
+	PacketBytes int   // DMA streaming granularity (128)
+}
+
+// DefaultConfig returns the paper's memory-subsystem parameters.
+func DefaultConfig() Config {
+	return Config{
+		SizeBytes:   512 << 20,
+		Latency:     150,
+		Ports:       1,
+		PortWidth:   32,
+		PacketBytes: 128,
+	}
+}
+
+// Stats aggregates memory activity.
+type Stats struct {
+	ScalarReads  int64
+	ScalarWrites int64
+	BlockReads   int64 // DMA GET commands served
+	BlockWrites  int64 // DMA PUT commands served
+	BytesRead    int64
+	BytesWritten int64
+	PortBusy     int64 // cycles of port occupancy, summed over ports
+}
+
+type outEvent struct {
+	at  sim.Cycle
+	msg noc.Message
+	seq int64
+}
+
+type outHeap []outEvent
+
+func (h outHeap) Len() int { return len(h) }
+func (h outHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h outHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *outHeap) Push(x any)   { *h = append(*h, x.(outEvent)) }
+func (h *outHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Memory is the main-memory component: a noc.Endpoint that services
+// scalar and block requests with port and latency modelling, backed by a
+// functional sparse store.
+type Memory struct {
+	cfg    Config
+	id     int
+	net    *noc.Network
+	handle *sim.Handle
+	store  *Sparse
+
+	inbox    []noc.Message
+	portFree []sim.Cycle
+	out      outHeap
+	seq      int64
+	stats    Stats
+
+	// Fault receives functional errors (out-of-range accesses); the
+	// machine wires it to abort the run with a diagnostic.
+	Fault func(error)
+}
+
+// New creates a memory with endpoint id on net.
+func New(cfg Config, id int, net *noc.Network) *Memory {
+	if cfg.Ports <= 0 || cfg.PortWidth <= 0 || cfg.PacketBytes <= 0 {
+		panic("mem: non-positive port configuration")
+	}
+	return &Memory{
+		cfg:      cfg,
+		id:       id,
+		net:      net,
+		store:    NewSparse(cfg.SizeBytes),
+		portFree: make([]sim.Cycle, cfg.Ports),
+		Fault:    func(err error) { panic(err) },
+	}
+}
+
+// Name implements sim.Component.
+func (m *Memory) Name() string { return "memory" }
+
+// Attach stores the engine wake handle.
+func (m *Memory) Attach(h *sim.Handle) { m.handle = h }
+
+// Store exposes the functional backing store (for program loading and
+// result checking).
+func (m *Memory) Store() *Sparse { return m.store }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// Deliver implements noc.Endpoint.
+func (m *Memory) Deliver(now sim.Cycle, msg noc.Message) {
+	m.inbox = append(m.inbox, msg)
+	if m.handle != nil {
+		m.handle.Wake(now + 1)
+	}
+}
+
+// reservePort books occupancy cycles on the earliest-free port starting
+// no earlier than now, returning the service start cycle.
+func (m *Memory) reservePort(now sim.Cycle, occupancy sim.Cycle) sim.Cycle {
+	best := 0
+	for i := 1; i < len(m.portFree); i++ {
+		if m.portFree[i] < m.portFree[best] {
+			best = i
+		}
+	}
+	start := now
+	if m.portFree[best] > start {
+		start = m.portFree[best]
+	}
+	m.portFree[best] = start + occupancy
+	m.stats.PortBusy += int64(occupancy)
+	return start
+}
+
+func (m *Memory) emit(at sim.Cycle, msg noc.Message) {
+	m.seq++
+	heap.Push(&m.out, outEvent{at: at, msg: msg, seq: m.seq})
+}
+
+// occupancyFor returns the port cycles for an n-byte transfer.
+func (m *Memory) occupancyFor(n int) sim.Cycle {
+	occ := sim.Cycle((n + m.cfg.PortWidth - 1) / m.cfg.PortWidth)
+	if occ < 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// Tick services queued requests and sends due responses.
+func (m *Memory) Tick(now sim.Cycle) sim.Cycle {
+	for _, msg := range m.inbox {
+		m.service(now, msg)
+	}
+	m.inbox = m.inbox[:0]
+
+	for len(m.out) > 0 && m.out[0].at <= now {
+		ev := heap.Pop(&m.out).(outEvent)
+		m.net.Send(now, ev.msg)
+	}
+
+	if len(m.out) > 0 {
+		return m.out[0].at
+	}
+	return sim.Never
+}
+
+func (m *Memory) service(now sim.Cycle, msg noc.Message) {
+	lat := sim.Cycle(m.cfg.Latency)
+	switch msg.Kind {
+	case noc.KindMemRead32, noc.KindMemRead64:
+		n := 4
+		if msg.Kind == noc.KindMemRead64 {
+			n = 8
+		}
+		var v int64
+		var err error
+		if n == 4 {
+			v, err = m.store.Read32(msg.A)
+		} else {
+			v, err = m.store.Read64(msg.A)
+		}
+		if err != nil {
+			m.Fault(fmt.Errorf("scalar read from %d: %w", msg.Src, err))
+			return
+		}
+		start := m.reservePort(now, 1)
+		m.stats.ScalarReads++
+		m.stats.BytesRead += int64(n)
+		m.emit(start+lat, noc.Message{
+			Src: m.id, Dst: msg.Src, Kind: noc.KindMemReadResp,
+			A: msg.A, B: v, C: msg.C,
+			Data: make([]byte, n), // models the data payload on the wire
+		})
+
+	case noc.KindMemWrite32, noc.KindMemWrite64:
+		var err error
+		if msg.Kind == noc.KindMemWrite32 {
+			err = m.store.Write32(msg.A, msg.B)
+		} else {
+			err = m.store.Write64(msg.A, msg.B)
+		}
+		if err != nil {
+			m.Fault(fmt.Errorf("scalar write from %d: %w", msg.Src, err))
+			return
+		}
+		m.reservePort(now, 1)
+		m.stats.ScalarWrites++
+		m.stats.BytesWritten += int64(4)
+		if msg.Kind == noc.KindMemWrite64 {
+			m.stats.BytesWritten += 4
+		}
+
+	case noc.KindMemBlockRead:
+		// Stream the block back as PacketBytes-sized data packets. Each
+		// packet reserves the port for its occupancy; the first packet
+		// additionally pays the access latency, subsequent ones are
+		// pipelined behind it.
+		total := int(msg.B)
+		if total <= 0 {
+			m.Fault(fmt.Errorf("block read of %d bytes from %d", total, msg.Src))
+			return
+		}
+		m.stats.BlockReads++
+		m.stats.BytesRead += int64(total)
+		for off := 0; off < total; off += m.cfg.PacketBytes {
+			n := m.cfg.PacketBytes
+			if off+n > total {
+				n = total - off
+			}
+			buf := make([]byte, n)
+			if err := m.store.ReadBytes(msg.A+int64(off), buf); err != nil {
+				m.Fault(fmt.Errorf("block read from %d: %w", msg.Src, err))
+				return
+			}
+			start := m.reservePort(now, m.occupancyFor(n))
+			last := int64(0)
+			if off+n >= total {
+				last = 1
+			}
+			m.emit(start+lat, noc.Message{
+				Src: m.id, Dst: msg.Src, Kind: noc.KindMemBlockData,
+				A: msg.A + int64(off), B: last, C: msg.C, D: int64(off),
+				Data: buf,
+			})
+		}
+
+	case noc.KindMemBlockWrite:
+		if err := m.store.WriteBytes(msg.A, msg.Data); err != nil {
+			m.Fault(fmt.Errorf("block write from %d: %w", msg.Src, err))
+			return
+		}
+		start := m.reservePort(now, m.occupancyFor(len(msg.Data)))
+		m.stats.BytesWritten += int64(len(msg.Data))
+		if msg.B == 1 { // final packet of the PUT command
+			m.stats.BlockWrites++
+			m.emit(start+lat, noc.Message{
+				Src: m.id, Dst: msg.Src, Kind: noc.KindMemBlockAck, C: msg.C,
+			})
+		}
+
+	default:
+		m.Fault(fmt.Errorf("memory received unexpected %s", msg))
+	}
+}
+
+// DumpState implements sim.StateDumper.
+func (m *Memory) DumpState() string {
+	return fmt.Sprintf("inbox=%d pending-out=%d", len(m.inbox), len(m.out))
+}

@@ -1,0 +1,139 @@
+// Package mem models the CellDTA main ("global") memory: a single-ported
+// 512 MB store with 150-cycle access latency (paper Table 2), reachable
+// only through the interconnect. It serves both the blocking scalar
+// READ/WRITE accesses of the original DTA execution model and the block
+// transfers issued by the MFC DMA engines.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// pageBits selects a 64 KiB sparse page.
+const pageBits = 16
+const pageSize = 1 << pageBits
+
+// Sparse is a byte-addressable sparse backing store. Reads of unwritten
+// memory return zeros without allocating pages.
+type Sparse struct {
+	size  int64
+	pages map[int64][]byte
+}
+
+// NewSparse returns a store of the given size in bytes.
+func NewSparse(size int64) *Sparse {
+	return &Sparse{size: size, pages: make(map[int64][]byte)}
+}
+
+// Size returns the addressable size in bytes.
+func (s *Sparse) Size() int64 { return s.size }
+
+func (s *Sparse) check(addr int64, n int) error {
+	if addr < 0 || addr+int64(n) > s.size {
+		return fmt.Errorf("mem: access [%#x,%#x) outside [0,%#x)", addr, addr+int64(n), s.size)
+	}
+	return nil
+}
+
+// ReadBytes fills buf from addr.
+func (s *Sparse) ReadBytes(addr int64, buf []byte) error {
+	if err := s.check(addr, len(buf)); err != nil {
+		return err
+	}
+	for done := 0; done < len(buf); {
+		page, off := addr>>pageBits, int(addr&(pageSize-1))
+		n := pageSize - off
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		if p, ok := s.pages[page]; ok {
+			copy(buf[done:done+n], p[off:off+n])
+		} else {
+			for i := done; i < done+n; i++ {
+				buf[i] = 0
+			}
+		}
+		done += n
+		addr += int64(n)
+	}
+	return nil
+}
+
+// WriteBytes copies data to addr.
+func (s *Sparse) WriteBytes(addr int64, data []byte) error {
+	if err := s.check(addr, len(data)); err != nil {
+		return err
+	}
+	for done := 0; done < len(data); {
+		page, off := addr>>pageBits, int(addr&(pageSize-1))
+		n := pageSize - off
+		if n > len(data)-done {
+			n = len(data) - done
+		}
+		p, ok := s.pages[page]
+		if !ok {
+			p = make([]byte, pageSize)
+			s.pages[page] = p
+		}
+		copy(p[off:off+n], data[done:done+n])
+		done += n
+		addr += int64(n)
+	}
+	return nil
+}
+
+// Read32 returns the sign-extended little-endian 32-bit word at addr.
+func (s *Sparse) Read32(addr int64) (int64, error) {
+	var b [4]byte
+	if err := s.ReadBytes(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return int64(int32(binary.LittleEndian.Uint32(b[:]))), nil
+}
+
+// Read64 returns the little-endian 64-bit word at addr.
+func (s *Sparse) Read64(addr int64) (int64, error) {
+	var b [8]byte
+	if err := s.ReadBytes(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+// Write32 stores the low 32 bits of v at addr.
+func (s *Sparse) Write32(addr int64, v int64) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(v))
+	return s.WriteBytes(addr, b[:])
+}
+
+// Write64 stores v at addr.
+func (s *Sparse) Write64(addr int64, v int64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return s.WriteBytes(addr, b[:])
+}
+
+// Reader adapts Sparse to the program.MemReader interface (errors are
+// converted to zero reads; result checkers operate on validated
+// addresses).
+type Reader struct{ S *Sparse }
+
+// Read32 implements program.MemReader.
+func (r Reader) Read32(addr int64) int64 {
+	v, err := r.S.Read32(addr)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Read64 implements program.MemReader.
+func (r Reader) Read64(addr int64) int64 {
+	v, err := r.S.Read64(addr)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,346 @@
+// Package mfc models the per-SPE Memory Flow Controller: the DMA engine
+// that the paper's prefetching mechanism programs from the PF code block.
+// Parameters follow paper Table 4 (command queue of 16 entries, 30-cycle
+// command latency) and Table 3 (a command carries the LS address, the
+// main-memory address, the transfer size and a tag id used to query
+// completion).
+//
+// Tag semantics mirror the Cell MFC tag groups: every command belongs to
+// a tag group, and the thread scheduler (LSE) is notified whenever a tag
+// group drains to zero outstanding commands — that notification is what
+// moves a thread from "Wait for DMA" to "Ready" (paper Figure 4).
+package mfc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/ls"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Channel selects one of the MFC's programming channels (paper Table 3).
+type Channel int
+
+const (
+	ChLSA  Channel = iota // local store address
+	ChEA                  // effective (main memory) address
+	ChSize                // transfer size in bytes
+	ChTag                 // tag id
+)
+
+// Direction of a DMA command.
+type Direction uint8
+
+const (
+	Get Direction = iota // main memory -> local store
+	Put                  // local store -> main memory
+)
+
+func (d Direction) String() string {
+	if d == Get {
+		return "get"
+	}
+	return "put"
+}
+
+// Config holds MFC parameters.
+type Config struct {
+	QueueSize   int // command queue entries (16)
+	CmdLatency  int // per-command processing latency at queue head (30)
+	PacketBytes int // packetisation for PUT streaming (128)
+}
+
+// DefaultConfig returns the paper's MFC parameters.
+func DefaultConfig() Config {
+	return Config{QueueSize: 16, CmdLatency: 30, PacketBytes: 128}
+}
+
+// Stats aggregates DMA activity.
+type Stats struct {
+	Gets          int64
+	Puts          int64
+	BytesIn       int64 // main memory -> LS
+	BytesOut      int64 // LS -> main memory
+	QueueFull     int64 // enqueue attempts rejected because the queue was full
+	TagWaits      int64 // tag groups that drained (completion notifications)
+	MaxQueueDepth int
+}
+
+type command struct {
+	id   int64
+	lsa  int64
+	ea   int64
+	size int64
+	tag  int64
+	dir  Direction
+
+	remaining int64 // bytes not yet transferred
+}
+
+type timedEvent struct {
+	at  sim.Cycle
+	fn  func(now sim.Cycle)
+	seq int64
+}
+
+type eventHeap []timedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(timedEvent)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Engine is one SPE's DMA controller.
+type Engine struct {
+	cfg    Config
+	id     int // noc endpoint id of this MFC
+	memID  int // noc endpoint id of main memory
+	net    *noc.Network
+	store  *ls.LocalStore
+	handle *sim.Handle
+
+	// Staging channels written by the SPU.
+	chLSA, chEA, chSize, chTag int64
+
+	queue    []*command
+	headBusy bool // head command is being processed (latency or streaming)
+	inflight map[int64]*command
+	byTag    map[int64]int
+	events   eventHeap
+	nextID   int64
+	seq      int64
+	stats    Stats
+
+	// OnTagIdle is called when a tag group drains to zero outstanding
+	// commands; the machine wires it to the LSE.
+	OnTagIdle func(now sim.Cycle, tag int64)
+	// Fault receives functional errors.
+	Fault func(error)
+}
+
+// New creates an MFC for the SPE owning store, with the given noc
+// endpoint id, talking to the memory endpoint memID.
+func New(cfg Config, id, memID int, net *noc.Network, store *ls.LocalStore) *Engine {
+	if cfg.QueueSize <= 0 || cfg.PacketBytes <= 0 {
+		panic("mfc: non-positive configuration")
+	}
+	return &Engine{
+		cfg:      cfg,
+		id:       id,
+		memID:    memID,
+		net:      net,
+		store:    store,
+		inflight: make(map[int64]*command),
+		byTag:    make(map[int64]int),
+		Fault:    func(err error) { panic(err) },
+	}
+}
+
+// Name implements sim.Component.
+func (e *Engine) Name() string { return fmt.Sprintf("mfc%d", e.id) }
+
+// Attach stores the engine wake handle.
+func (e *Engine) Attach(h *sim.Handle) { e.handle = h }
+
+// Stats returns a copy of the accumulated statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// WriteChannel latches a programming value (SPU MFCLSA/MFCEA/MFCSZ/MFCTAG).
+func (e *Engine) WriteChannel(ch Channel, v int64) {
+	switch ch {
+	case ChLSA:
+		e.chLSA = v
+	case ChEA:
+		e.chEA = v
+	case ChSize:
+		e.chSize = v
+	case ChTag:
+		e.chTag = v
+	}
+}
+
+// Enqueue pushes a command built from the staged channels. It returns
+// false when the command queue is full (the SPU stalls and retries).
+func (e *Engine) Enqueue(now sim.Cycle, dir Direction) bool {
+	if len(e.queue) >= e.cfg.QueueSize {
+		e.stats.QueueFull++
+		return false
+	}
+	if e.chSize <= 0 {
+		e.Fault(fmt.Errorf("mfc%d: %s command with size %d", e.id, dir, e.chSize))
+		return true
+	}
+	e.nextID++
+	cmd := &command{
+		id: e.nextID, lsa: e.chLSA, ea: e.chEA, size: e.chSize, tag: e.chTag,
+		dir: dir, remaining: e.chSize,
+	}
+	e.queue = append(e.queue, cmd)
+	if len(e.queue) > e.stats.MaxQueueDepth {
+		e.stats.MaxQueueDepth = len(e.queue)
+	}
+	e.byTag[cmd.tag]++
+	if e.handle != nil {
+		e.handle.Wake(now + 1)
+	}
+	return true
+}
+
+// Outstanding returns the number of incomplete commands in a tag group
+// (the MFCSTAT instruction).
+func (e *Engine) Outstanding(tag int64) int { return e.byTag[tag] }
+
+// QueueDepth returns the number of commands waiting in the queue.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Busy reports whether any command is queued, being processed or in
+// flight (used by the machine to drain write-back PUTs before ending a
+// run).
+func (e *Engine) Busy() bool {
+	return len(e.queue) > 0 || len(e.inflight) > 0 || len(e.events) > 0
+}
+
+func (e *Engine) schedule(at sim.Cycle, fn func(now sim.Cycle)) {
+	e.seq++
+	heap.Push(&e.events, timedEvent{at: at, fn: fn, seq: e.seq})
+	if e.handle != nil {
+		e.handle.Wake(at)
+	}
+}
+
+// Tick processes the queue head and due events.
+func (e *Engine) Tick(now sim.Cycle) sim.Cycle {
+	for len(e.events) > 0 && e.events[0].at <= now {
+		ev := heap.Pop(&e.events).(timedEvent)
+		ev.fn(now)
+	}
+	if !e.headBusy && len(e.queue) > 0 {
+		e.headBusy = true
+		cmd := e.queue[0]
+		e.schedule(now+sim.Cycle(e.cfg.CmdLatency), func(t sim.Cycle) { e.launch(t, cmd) })
+	}
+	next := sim.Never
+	if len(e.events) > 0 {
+		next = e.events[0].at
+	}
+	return next
+}
+
+// launch issues the memory traffic for the head command after its
+// command latency has elapsed.
+func (e *Engine) launch(now sim.Cycle, cmd *command) {
+	switch cmd.dir {
+	case Get:
+		e.stats.Gets++
+		e.inflight[cmd.id] = cmd
+		e.net.Send(now, noc.Message{
+			Src: e.id, Dst: e.memID, Kind: noc.KindMemBlockRead,
+			A: cmd.ea, B: cmd.size, C: cmd.id,
+		})
+		e.popHead(now)
+	case Put:
+		e.stats.Puts++
+		e.inflight[cmd.id] = cmd
+		// Stream packets, pacing on the LS read port.
+		off := int64(0)
+		t := now
+		for off < cmd.size {
+			n := int64(e.cfg.PacketBytes)
+			if off+n > cmd.size {
+				n = cmd.size - off
+			}
+			buf := make([]byte, n)
+			if err := e.store.ReadBytes(cmd.lsa+off, buf); err != nil {
+				e.Fault(fmt.Errorf("mfc%d put: %w", e.id, err))
+				return
+			}
+			ready := e.store.Access(ls.PortMFC, t, int(n))
+			last := int64(0)
+			if off+n >= cmd.size {
+				last = 1
+			}
+			msg := noc.Message{
+				Src: e.id, Dst: e.memID, Kind: noc.KindMemBlockWrite,
+				A: cmd.ea + off, B: last, C: cmd.id, D: off, Data: buf,
+			}
+			e.schedule(ready, func(tt sim.Cycle) { e.net.Send(tt, msg) })
+			t = ready
+			off += n
+		}
+		// The head slot frees once the last packet has left the LS.
+		e.schedule(t, func(tt sim.Cycle) { e.popHead(tt) })
+	}
+}
+
+func (e *Engine) popHead(now sim.Cycle) {
+	e.queue = e.queue[1:]
+	e.headBusy = false
+	if e.handle != nil {
+		e.handle.Wake(now + 1)
+	}
+}
+
+// Deliver implements noc.Endpoint: data packets for GETs and acks for
+// PUTs arrive here.
+func (e *Engine) Deliver(now sim.Cycle, msg noc.Message) {
+	switch msg.Kind {
+	case noc.KindMemBlockData:
+		cmd, ok := e.inflight[msg.C]
+		if !ok {
+			e.Fault(fmt.Errorf("mfc%d: data for unknown command %d", e.id, msg.C))
+			return
+		}
+		if err := e.store.WriteBytes(cmd.lsa+msg.D, msg.Data); err != nil {
+			e.Fault(fmt.Errorf("mfc%d get: %w", e.id, err))
+			return
+		}
+		done := e.store.Access(ls.PortMFC, now, len(msg.Data))
+		e.stats.BytesIn += int64(len(msg.Data))
+		cmd.remaining -= int64(len(msg.Data))
+		if cmd.remaining <= 0 {
+			e.schedule(done, func(t sim.Cycle) { e.complete(t, cmd) })
+		}
+	case noc.KindMemBlockAck:
+		cmd, ok := e.inflight[msg.C]
+		if !ok {
+			e.Fault(fmt.Errorf("mfc%d: ack for unknown command %d", e.id, msg.C))
+			return
+		}
+		e.stats.BytesOut += cmd.size
+		e.complete(now, cmd)
+	default:
+		e.Fault(fmt.Errorf("mfc%d received unexpected %s", e.id, msg))
+	}
+	if e.handle != nil {
+		e.handle.Wake(now + 1)
+	}
+}
+
+func (e *Engine) complete(now sim.Cycle, cmd *command) {
+	delete(e.inflight, cmd.id)
+	e.byTag[cmd.tag]--
+	if e.byTag[cmd.tag] < 0 {
+		e.Fault(fmt.Errorf("mfc%d: tag %d underflow", e.id, cmd.tag))
+		return
+	}
+	if e.byTag[cmd.tag] == 0 {
+		delete(e.byTag, cmd.tag)
+		e.stats.TagWaits++
+		if e.OnTagIdle != nil {
+			e.OnTagIdle(now, cmd.tag)
+		}
+	}
+}
+
+// DumpState implements sim.StateDumper.
+func (e *Engine) DumpState() string {
+	return fmt.Sprintf("queue=%d inflight=%d events=%d", len(e.queue), len(e.inflight), len(e.events))
+}

@@ -1,0 +1,193 @@
+package noc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Endpoint receives delivered messages. Deliver runs during the
+// network's tick; implementations should enqueue the message and wake
+// themselves rather than doing heavy work inline.
+type Endpoint interface {
+	Deliver(now sim.Cycle, m Message)
+}
+
+// Config holds interconnect parameters (paper Table 4).
+type Config struct {
+	Buses       int // number of parallel buses (4)
+	BytesPerCyc int // per-bus bandwidth (8 B/cycle)
+	HopLatency  int // fixed transit latency added to every transfer
+}
+
+// DefaultConfig returns the paper's communication-subsystem parameters.
+func DefaultConfig() Config {
+	return Config{Buses: 4, BytesPerCyc: 8, HopLatency: 4}
+}
+
+// Stats aggregates interconnect activity.
+type Stats struct {
+	Messages   int64 // total messages delivered
+	Bytes      int64 // total wire bytes transferred
+	BusyCycles int64 // sum of bus occupancy over all buses
+	MaxQueue   int   // high-water mark of the arbitration queue
+}
+
+type pending struct {
+	msg     Message
+	arrival sim.Cycle // when the sender handed the message over
+	seq     int64     // tiebreak for deterministic FIFO ordering
+}
+
+type delivery struct {
+	msg Message
+	at  sim.Cycle
+	seq int64
+}
+
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Network is the interconnect component. Senders call Send; the network
+// arbitrates the queued messages onto buses in FIFO order and calls the
+// destination Endpoint when the transfer completes.
+type Network struct {
+	cfg     Config
+	handle  *sim.Handle
+	eps     map[int]Endpoint
+	queue   []pending
+	busFree []sim.Cycle
+	dels    deliveryHeap
+	seq     int64
+	stats   Stats
+}
+
+// New creates a network with the given configuration; Attach must be
+// called with the engine handle before use.
+func New(cfg Config) *Network {
+	if cfg.Buses <= 0 || cfg.BytesPerCyc <= 0 {
+		panic("noc: non-positive bus configuration")
+	}
+	return &Network{
+		cfg:     cfg,
+		eps:     make(map[int]Endpoint),
+		busFree: make([]sim.Cycle, cfg.Buses),
+	}
+}
+
+// Name implements sim.Component.
+func (n *Network) Name() string { return "noc" }
+
+// Attach stores the engine wake handle.
+func (n *Network) Attach(h *sim.Handle) { n.handle = h }
+
+// Register binds an endpoint id to a receiver.
+func (n *Network) Register(id int, ep Endpoint) {
+	if _, dup := n.eps[id]; dup {
+		panic(fmt.Sprintf("noc: duplicate endpoint %d", id))
+	}
+	n.eps[id] = ep
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Send queues a message for transfer. The message starts arbitration on
+// the next cycle (a sender cannot inject and transfer in the same cycle).
+func (n *Network) Send(now sim.Cycle, m Message) {
+	if _, ok := n.eps[m.Dst]; !ok {
+		panic(fmt.Sprintf("noc: send to unregistered endpoint: %s", m))
+	}
+	n.seq++
+	n.queue = append(n.queue, pending{msg: m, arrival: now, seq: n.seq})
+	if len(n.queue) > n.stats.MaxQueue {
+		n.stats.MaxQueue = len(n.queue)
+	}
+	if n.handle != nil {
+		n.handle.Wake(now + 1)
+	}
+}
+
+// Tick arbitrates queued messages onto buses and completes deliveries.
+func (n *Network) Tick(now sim.Cycle) sim.Cycle {
+	// Grant buses to queued messages in FIFO order. A message may start
+	// once it has been queued for at least one cycle and some bus is
+	// free.
+	remaining := n.queue[:0]
+	for _, p := range n.queue {
+		if p.arrival >= now {
+			remaining = append(remaining, p)
+			continue
+		}
+		// Earliest-free bus; deterministic tiebreak by index.
+		best := -1
+		for i := range n.busFree {
+			if n.busFree[i] <= now && (best == -1 || n.busFree[i] < n.busFree[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			remaining = append(remaining, p)
+			continue
+		}
+		occ := sim.Cycle((p.msg.WireSize() + n.cfg.BytesPerCyc - 1) / n.cfg.BytesPerCyc)
+		if occ < 1 {
+			occ = 1
+		}
+		n.busFree[best] = now + occ
+		n.stats.BusyCycles += int64(occ)
+		n.stats.Bytes += int64(p.msg.WireSize())
+		n.seq++
+		heap.Push(&n.dels, delivery{msg: p.msg, at: now + occ + sim.Cycle(n.cfg.HopLatency), seq: p.seq})
+	}
+	n.queue = remaining
+
+	// Complete due deliveries.
+	for len(n.dels) > 0 && n.dels[0].at <= now {
+		d := heap.Pop(&n.dels).(delivery)
+		n.stats.Messages++
+		n.eps[d.msg.Dst].Deliver(now, d.msg)
+	}
+
+	return n.nextEvent(now)
+}
+
+func (n *Network) nextEvent(now sim.Cycle) sim.Cycle {
+	next := sim.Never
+	if len(n.queue) > 0 {
+		// Either waiting for a bus or for the injection delay.
+		earliest := now + 1
+		busAt := sim.Never
+		for _, f := range n.busFree {
+			if f < busAt {
+				busAt = f
+			}
+		}
+		if busAt > earliest {
+			earliest = busAt
+		}
+		if earliest < next {
+			next = earliest
+		}
+	}
+	if len(n.dels) > 0 && n.dels[0].at < next {
+		next = n.dels[0].at
+	}
+	return next
+}
+
+// DumpState implements sim.StateDumper.
+func (n *Network) DumpState() string {
+	return fmt.Sprintf("queued=%d in-flight=%d", len(n.queue), len(n.dels))
+}

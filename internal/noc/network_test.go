@@ -1,0 +1,231 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// sink records deliveries.
+type sink struct {
+	got []Message
+	at  []sim.Cycle
+}
+
+func (s *sink) Deliver(now sim.Cycle, m Message) {
+	s.got = append(s.got, m)
+	s.at = append(s.at, now)
+}
+
+// runNet drives a network alone in an engine until quiescent.
+func runNet(t *testing.T, n *Network, inject func(h *sim.Handle), until sim.Cycle) {
+	t.Helper()
+	e := sim.NewEngine()
+	h := e.Register(n)
+	n.Attach(h)
+	inject(h)
+	stop := &stopAt{e: e, when: until}
+	e.Register(stop)
+	if _, err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+type stopAt struct {
+	e    *sim.Engine
+	when sim.Cycle
+}
+
+func (s *stopAt) Name() string { return "stop" }
+func (s *stopAt) Tick(now sim.Cycle) sim.Cycle {
+	if now >= s.when {
+		s.e.Stop()
+		return sim.Never
+	}
+	return s.when
+}
+
+func TestSingleMessageTiming(t *testing.T) {
+	n := New(Config{Buses: 1, BytesPerCyc: 8, HopLatency: 4})
+	dst := &sink{}
+	n.Register(9, dst)
+	runNet(t, n, func(h *sim.Handle) {
+		n.Send(0, Message{Src: 1, Dst: 9, Kind: KindFrameStore, A: 7})
+	}, 100)
+	if len(dst.got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(dst.got))
+	}
+	// Sent at 0, arbitrated at 1, occupancy ceil(16/8)=2, hop 4 => 7.
+	if dst.at[0] != 7 {
+		t.Fatalf("delivered at %d, want 7", dst.at[0])
+	}
+	st := n.Stats()
+	if st.Messages != 1 || st.Bytes != 16 || st.BusyCycles != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPayloadExtendsOccupancy(t *testing.T) {
+	n := New(Config{Buses: 1, BytesPerCyc: 8, HopLatency: 0})
+	dst := &sink{}
+	n.Register(2, dst)
+	runNet(t, n, func(h *sim.Handle) {
+		n.Send(0, Message{Src: 1, Dst: 2, Kind: KindMemBlockData, Data: make([]byte, 128)})
+	}, 200)
+	// (16+128)/8 = 18 cycles occupancy, granted at 1 => delivered 19.
+	if dst.at[0] != 19 {
+		t.Fatalf("delivered at %d, want 19", dst.at[0])
+	}
+}
+
+func TestBusContentionSerialises(t *testing.T) {
+	n := New(Config{Buses: 1, BytesPerCyc: 8, HopLatency: 0})
+	dst := &sink{}
+	n.Register(2, dst)
+	runNet(t, n, func(h *sim.Handle) {
+		for i := 0; i < 4; i++ {
+			n.Send(0, Message{Src: 1, Dst: 2, Kind: KindFrameStore, B: int64(i)})
+		}
+	}, 100)
+	if len(dst.got) != 4 {
+		t.Fatalf("delivered %d, want 4", len(dst.got))
+	}
+	// One bus, 2-cycle occupancy each: deliveries at 3,5,7,9.
+	want := []sim.Cycle{3, 5, 7, 9}
+	for i, w := range want {
+		if dst.at[i] != w {
+			t.Fatalf("delivery %d at %d, want %d (all=%v)", i, dst.at[i], w, dst.at)
+		}
+	}
+}
+
+func TestParallelBusesOverlap(t *testing.T) {
+	n := New(Config{Buses: 4, BytesPerCyc: 8, HopLatency: 0})
+	dst := &sink{}
+	n.Register(2, dst)
+	runNet(t, n, func(h *sim.Handle) {
+		for i := 0; i < 4; i++ {
+			n.Send(0, Message{Src: 1, Dst: 2, Kind: KindFrameStore, B: int64(i)})
+		}
+	}, 100)
+	// Four buses: all four delivered at cycle 3.
+	for i, at := range dst.at {
+		if at != 3 {
+			t.Fatalf("delivery %d at %d, want 3", i, at)
+		}
+	}
+}
+
+func TestAllMessagesDeliveredNoDuplicates(t *testing.T) {
+	n := New(DefaultConfig())
+	sinks := map[int]*sink{10: {}, 11: {}, 12: {}}
+	for id, s := range sinks {
+		n.Register(id, s)
+	}
+	const total = 300
+	rng := sim.NewRand(99)
+	runNet(t, n, func(h *sim.Handle) {
+		for i := 0; i < total; i++ {
+			dst := 10 + rng.Intn(3)
+			n.Send(0, Message{Src: 1, Dst: dst, Kind: KindFrameStore, B: int64(i),
+				Data: make([]byte, rng.Intn(120))})
+		}
+	}, 100000)
+	seen := make(map[int64]bool)
+	count := 0
+	for _, s := range sinks {
+		for _, m := range s.got {
+			if seen[m.B] {
+				t.Fatalf("message %d delivered twice", m.B)
+			}
+			seen[m.B] = true
+			count++
+		}
+	}
+	if count != total {
+		t.Fatalf("delivered %d, want %d", count, total)
+	}
+}
+
+// Bandwidth conservation: the makespan of a saturated network can never
+// beat aggregate bandwidth.
+func TestBandwidthBound(t *testing.T) {
+	cfg := Config{Buses: 2, BytesPerCyc: 8, HopLatency: 0}
+	n := New(cfg)
+	dst := &sink{}
+	n.Register(2, dst)
+	const msgs = 64
+	var bytes int64
+	runNet(t, n, func(h *sim.Handle) {
+		for i := 0; i < msgs; i++ {
+			m := Message{Src: 1, Dst: 2, Kind: KindMemBlockData, Data: make([]byte, 112)}
+			bytes += int64(m.WireSize())
+			n.Send(0, m)
+		}
+	}, 100000)
+	last := dst.at[len(dst.at)-1]
+	minCycles := bytes / int64(cfg.Buses*cfg.BytesPerCyc)
+	if int64(last) < minCycles {
+		t.Fatalf("makespan %d beats bandwidth bound %d", last, minCycles)
+	}
+	// And it should be close to the bound (within the final hop+grant).
+	if int64(last) > minCycles+20 {
+		t.Fatalf("makespan %d far above bound %d: buses underutilised", last, minCycles)
+	}
+}
+
+func TestSendToUnregisteredPanics(t *testing.T) {
+	n := New(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send to unregistered endpoint did not panic")
+		}
+	}()
+	n.Send(0, Message{Src: 0, Dst: 99})
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	n := New(DefaultConfig())
+	n.Register(1, &sink{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	n.Register(1, &sink{})
+}
+
+func TestDeterministicDeliveryOrder(t *testing.T) {
+	run := func() []int64 {
+		n := New(DefaultConfig())
+		dst := &sink{}
+		n.Register(5, dst)
+		e := sim.NewEngine()
+		h := e.Register(n)
+		n.Attach(h)
+		rng := sim.NewRand(7)
+		for i := 0; i < 100; i++ {
+			n.Send(0, Message{Src: rng.Intn(4), Dst: 5, Kind: KindFrameStore,
+				B: int64(i), Data: make([]byte, rng.Intn(64))})
+		}
+		st := &stopAt{e: e, when: 10000}
+		e.Register(st)
+		if _, err := e.Run(0); err != nil {
+			panic(err)
+		}
+		var order []int64
+		for _, m := range dst.got {
+			order = append(order, m.B)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 100 {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverges at %d", i)
+		}
+	}
+}

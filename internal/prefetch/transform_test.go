@@ -1,0 +1,310 @@
+package prefetch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/stats"
+)
+
+// buildArraySum builds a program whose root thread sums n int32s located
+// at base in main memory with one tagged READ per element, plus one
+// untagged READ of a sentinel value that must remain blocking.
+func buildArraySum(t *testing.T, base int64, values []int32, sentinel int32) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("arraysum")
+	root := b.Template("root")
+	rg := root.Region("array",
+		program.AddrExpr{Terms: []program.AddrTerm{{Slot: 0, Scale: 1}}},
+		program.SizeConst(int64(4*len(values))), 4*len(values))
+
+	root.PL().Load(program.R(1), 0) // base
+
+	ex := root.EX()
+	ex.Movi(program.R(2), 0) // sum
+	ex.Movi(program.R(3), 0) // i
+	ex.Movi(program.R(4), int32(len(values)))
+	ex.Mov(program.R(5), program.R(1)) // addr
+	ex.Label("top")
+	ex.ReadRegion(rg, program.R(6), program.R(5), 0)
+	ex.Add(program.R(2), program.R(2), program.R(6))
+	ex.Addi(program.R(5), program.R(5), 4)
+	ex.Addi(program.R(3), program.R(3), 1)
+	ex.Blt(program.R(3), program.R(4), "top")
+	// Untagged (stays blocking after transformation).
+	ex.Read(program.R(7), program.R(1), int32(4*len(values)))
+	ex.Add(program.R(2), program.R(2), program.R(7))
+
+	root.PS().
+		StoreMailbox(program.R(2), program.R(8), 0).
+		Ffree().
+		Stop()
+
+	b.Entry(root, base)
+	data := make([]byte, 4*len(values)+4)
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(data[4*i:], uint32(v))
+	}
+	binary.LittleEndian.PutUint32(data[4*len(values):], uint32(sentinel))
+	b.Segment(base, data)
+
+	want := int64(sentinel)
+	for _, v := range values {
+		want += int64(v)
+	}
+	b.Check(func(mr program.MemReader, tokens []int64) error {
+		if len(tokens) != 1 || tokens[0] != want {
+			return fmt.Errorf("tokens = %v, want [%d]", tokens, want)
+		}
+		return nil
+	})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTransformStaticShape(t *testing.T) {
+	p := buildArraySum(t, 0x10000, []int32{1, 2, 3, 4}, 9)
+	q, err := Transform(p)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	tm := q.Templates[0]
+	if !tm.Transformed {
+		t.Fatal("template not marked transformed")
+	}
+	// PF block: base compute (load) + mfcea + addi/mfclsa + movi/mfcsz +
+	// mfctag + mfcget = 8 instructions for one slot-based region.
+	pf := tm.Blocks[program.PF]
+	if len(pf) == 0 {
+		t.Fatal("no PF block synthesised")
+	}
+	wantOps := []isa.Op{isa.LOAD, isa.MFCEA, isa.ADDI, isa.MFCLSA, isa.MOVI, isa.MFCSZ, isa.MFCTAG, isa.MFCGET}
+	if len(pf) != len(wantOps) {
+		t.Fatalf("PF len = %d, want %d: %v", len(pf), len(wantOps), pf)
+	}
+	for i, op := range wantOps {
+		if pf[i].Op != op {
+			t.Fatalf("PF[%d] = %s, want %s", i, pf[i].Op, op)
+		}
+	}
+	// The tagged READ became LSRDX with a delta register; the untagged
+	// READ survives.
+	reads, lsrdx := 0, 0
+	for _, ins := range tm.Blocks[program.EX] {
+		switch ins.Op {
+		case isa.READ:
+			reads++
+		case isa.LSRDX:
+			lsrdx++
+			if ins.Rb < isa.FirstReservedReg {
+				t.Fatalf("LSRDX delta register r%d not in reserved range", ins.Rb)
+			}
+		}
+	}
+	if reads != 1 || lsrdx != 1 {
+		t.Fatalf("reads=%d lsrdx=%d, want 1/1", reads, lsrdx)
+	}
+	if tm.PrefetchBytes != 16 {
+		t.Fatalf("PrefetchBytes = %d, want 16", tm.PrefetchBytes)
+	}
+	// Original program untouched.
+	if p.Templates[0].Transformed || len(p.Templates[0].Blocks[program.PF]) != 0 {
+		t.Fatal("Transform mutated its input")
+	}
+}
+
+func TestTransformedRunsFunctionallyEqual(t *testing.T) {
+	values := []int32{5, -3, 100, 42, 7, 7, 7, 1}
+	p := buildArraySum(t, 0x40000, values, -11)
+	q, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = 1
+	cfg.MaxCycles = 2_000_000
+
+	runOne := func(prog *program.Program) *cell.Result {
+		m, err := cell.New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CheckErr != nil {
+			t.Fatalf("functional check: %v", res.CheckErr)
+		}
+		return res
+	}
+	raw := runOne(p)
+	pf := runOne(q)
+
+	if raw.Tokens[0] != pf.Tokens[0] {
+		t.Fatalf("results differ: %d vs %d", raw.Tokens[0], pf.Tokens[0])
+	}
+	// The transformed run keeps exactly the sentinel READ.
+	if pf.Agg.Instr.Read != 1 {
+		t.Fatalf("transformed Read count = %d, want 1", pf.Agg.Instr.Read)
+	}
+	if raw.Agg.Instr.Read != int64(len(values))+1 {
+		t.Fatalf("raw Read count = %d, want %d", raw.Agg.Instr.Read, len(values)+1)
+	}
+	// Prefetching must pay overhead but eliminate most memory stalls.
+	if pf.Agg.Breakdown[stats.Prefetch] == 0 {
+		t.Fatal("no prefetch overhead")
+	}
+	if pf.Agg.Breakdown[stats.MemStall] >= raw.Agg.Breakdown[stats.MemStall] {
+		t.Fatalf("prefetch did not reduce memory stalls: %d vs %d",
+			pf.Agg.Breakdown[stats.MemStall], raw.Agg.Breakdown[stats.MemStall])
+	}
+	// And with 8 x 150-cycle reads removed, it must be faster overall.
+	if pf.Cycles >= raw.Cycles {
+		t.Fatalf("prefetch run slower: %d vs %d cycles", pf.Cycles, raw.Cycles)
+	}
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	p := buildArraySum(t, 0x10000, []int32{1, 2}, 3)
+	q, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Analyze(p, q)
+	if st.Templates != 1 || st.Regions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ReadsTotal != 2 || st.ReadsRewritten != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.DecoupledFraction(); got != 0.5 {
+		t.Fatalf("DecoupledFraction = %v", got)
+	}
+}
+
+func TestPLBranchFixup(t *testing.T) {
+	// A PL block with a loop: after prepending the prologue, the branch
+	// target must shift.
+	b := program.NewBuilder("plloop")
+	root := b.Template("root")
+	rg := root.Region("r", program.AddrExpr{Terms: []program.AddrTerm{{Slot: 0, Scale: 1}}},
+		program.SizeConst(16), 16)
+	pl := root.PL()
+	pl.Load(program.R(1), 0)
+	pl.Movi(program.R(2), 0)
+	pl.Label("lp")
+	pl.Addi(program.R(2), program.R(2), 1)
+	pl.Movi(program.R(3), 3)
+	pl.Blt(program.R(2), program.R(3), "lp")
+	ex := root.EX()
+	ex.ReadRegion(rg, program.R(4), program.R(1), 0)
+	root.PS().StoreMailbox(program.R(4), program.R(5), 0).Ffree().Stop()
+	b.Entry(root, 0x5000)
+	b.Segment(0x5000, []byte{77, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prologue for one slot-term region: LOAD, ADDI, SUB = 3 instrs.
+	npl := q.Templates[0].Blocks[program.PL]
+	var branch *isa.Instruction
+	for i := range npl {
+		if npl[i].Op == isa.BLT {
+			branch = &npl[i]
+		}
+	}
+	if branch == nil {
+		t.Fatal("branch lost")
+	}
+	if branch.Imm != 2+3 {
+		t.Fatalf("branch target = %d, want 5 (2 + prologue 3)", branch.Imm)
+	}
+	// And the transformed program still runs correctly.
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = 1
+	cfg.MaxCycles = 1_000_000
+	m, err := cell.New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tokens) != 1 || res.Tokens[0] != 77 {
+		t.Fatalf("tokens = %v, want [77]", res.Tokens)
+	}
+}
+
+func TestTooManyRegionsRejected(t *testing.T) {
+	b := program.NewBuilder("many")
+	root := b.Template("root")
+	root.PL().Load(program.R(1), 0)
+	ex := root.EX()
+	for i := 0; i < MaxRegions+1; i++ {
+		rg := root.Region(fmt.Sprintf("r%d", i),
+			program.AddrExpr{Const: int64(0x1000 * (i + 1))}, program.SizeConst(16), 16)
+		ex.ReadRegion(rg, program.R(2), program.R(1), 0)
+	}
+	root.PS().StoreMailbox(program.R(2), program.R(3), 0).Ffree().Stop()
+	b.Entry(root, 1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transform(p); err == nil || !strings.Contains(err.Error(), "max") {
+		t.Fatalf("Transform err = %v, want region-count error", err)
+	}
+}
+
+func TestEmitAddrShapes(t *testing.T) {
+	// Constant only.
+	code, err := emitAddr(program.AddrExpr{Const: 0x1234}, 104, 105)
+	if err != nil || len(code) != 1 || code[0].Op != isa.MOVI {
+		t.Fatalf("const addr = %v, %v", code, err)
+	}
+	// Two terms with scales plus offset.
+	code, err = emitAddr(program.AddrExpr{
+		Const: 8,
+		Terms: []program.AddrTerm{{Slot: 0, Scale: 1}, {Slot: 1, Scale: 128}},
+	}, 104, 105)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []isa.Op{isa.LOAD, isa.LOAD, isa.MULI, isa.ADD, isa.ADDI}
+	if len(code) != len(wantOps) {
+		t.Fatalf("code = %v", code)
+	}
+	for i, op := range wantOps {
+		if code[i].Op != op {
+			t.Fatalf("code[%d] = %s, want %s", i, code[i].Op, op)
+		}
+	}
+}
+
+func TestDynamicSizeExpr(t *testing.T) {
+	code, err := emitSize(program.SizeSlot(2, 4, 0), 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 2 || code[0].Op != isa.LOAD || code[1].Op != isa.MULI {
+		t.Fatalf("code = %v", code)
+	}
+	code, err = emitSize(program.SizeConst(64), 110)
+	if err != nil || len(code) != 1 || code[0].Imm != 64 {
+		t.Fatalf("code = %v, %v", code, err)
+	}
+}

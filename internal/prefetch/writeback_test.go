@@ -1,0 +1,209 @@
+package prefetch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+// runWB builds a workload, applies the given transform options, runs it
+// on 4 SPEs and verifies the functional check.
+func runWB(t *testing.T, name string, p workloads.Params, opt Options) *cell.Result {
+	t.Helper()
+	w, ok := workloads.Get(name)
+	if !ok {
+		t.Fatalf("workload %s", name)
+	}
+	prog, err := w.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err = TransformWithOptions(prog, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = 4
+	cfg.MaxCycles = 50_000_000
+	m, err := cell.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckErr != nil {
+		t.Fatalf("functional check: %v", res.CheckErr)
+	}
+	return res
+}
+
+func TestWriteBackMmulCorrectAndWriteFree(t *testing.T) {
+	p := workloads.Params{N: 16, Workers: 8, Seed: 21}
+	plain := runWB(t, "mmul", p, Options{})
+	wb := runWB(t, "mmul", p, Options{WriteBack: true})
+
+	// Plain prefetching leaves the WRITEs posted.
+	if plain.Agg.Instr.Write != 16*16 {
+		t.Fatalf("plain writes = %d, want 256", plain.Agg.Instr.Write)
+	}
+	var plainPuts int64
+	for _, m := range plain.MFCs {
+		plainPuts += m.Puts
+	}
+	if plainPuts != 0 {
+		t.Fatalf("plain mode issued %d PUTs", plainPuts)
+	}
+
+	// Write-back removes every WRITE and issues DMA PUTs instead. The
+	// functional check (exact C content) ran inside runWB, proving the
+	// staged data drained to memory.
+	if wb.Agg.Instr.Write != 0 {
+		t.Fatalf("write-back left %d WRITEs", wb.Agg.Instr.Write)
+	}
+	var puts, bytesOut int64
+	for _, m := range wb.MFCs {
+		puts += m.Puts
+		bytesOut += m.BytesOut
+	}
+	if puts == 0 {
+		t.Fatal("no DMA PUTs issued")
+	}
+	if bytesOut < 16*16*4 {
+		t.Fatalf("BytesOut = %d, want >= %d (whole C)", bytesOut, 16*16*4)
+	}
+}
+
+func TestWriteBackZoomCorrect(t *testing.T) {
+	p := workloads.Params{N: 8, Workers: 4, Seed: 22}
+	wb := runWB(t, "zoom", p, Options{WriteBack: true})
+	if wb.Agg.Instr.Write != 0 {
+		t.Fatalf("write-back left %d WRITEs", wb.Agg.Instr.Write)
+	}
+	// Checksum + full output comparison already ran in runWB.
+	out := 8 * workloads.ZoomFactor * 8 * workloads.ZoomFactor
+	var bytesOut int64
+	for _, m := range wb.MFCs {
+		bytesOut += m.BytesOut
+	}
+	if bytesOut < int64(4*out) {
+		t.Fatalf("BytesOut = %d, want >= %d", bytesOut, 4*out)
+	}
+}
+
+func TestWriteBackReducesBusMessages(t *testing.T) {
+	// Batching writes into PUT packets must reduce message count vs
+	// per-element posted writes.
+	p := workloads.Params{N: 16, Workers: 8, Seed: 23}
+	plain := runWB(t, "mmul", p, Options{})
+	wb := runWB(t, "mmul", p, Options{WriteBack: true})
+	if wb.Net.Messages >= plain.Net.Messages {
+		t.Fatalf("write-back did not reduce messages: %d vs %d",
+			wb.Net.Messages, plain.Net.Messages)
+	}
+}
+
+func TestWriteBackSynthesisShape(t *testing.T) {
+	w, _ := workloads.Get("mmul")
+	prog, err := w.Build(workloads.Params{N: 8, Workers: 4, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := TransformWithOptions(prog, Options{WriteBack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker template: PS begins with PUT programming; EX has LSWRX
+	// instead of WRITE.
+	var worker *program.Template
+	for _, tm := range wb.Templates {
+		if tm.Name == "worker" {
+			worker = tm
+		}
+	}
+	if worker == nil {
+		t.Fatal("no worker template")
+	}
+	puts := 0
+	for _, ins := range worker.Blocks[program.PS] {
+		if ins.Op == isa.MFCPUT {
+			puts++
+		}
+	}
+	if puts == 0 {
+		t.Fatal("PS block has no MFCPUT")
+	}
+	for _, ins := range worker.Blocks[program.EX] {
+		if ins.Op == isa.WRITE || ins.Op == isa.WRITE8 {
+			t.Fatalf("EX still contains %s", ins)
+		}
+	}
+	lswrx := 0
+	for _, ins := range worker.Blocks[program.EX] {
+		if ins.Op == isa.LSWRX {
+			lswrx++
+		}
+	}
+	if lswrx != 1 {
+		t.Fatalf("LSWRX count = %d, want 1", lswrx)
+	}
+}
+
+func TestPlainTransformIgnoresWriteTags(t *testing.T) {
+	w, _ := workloads.Get("mmul")
+	prog, err := w.Build(workloads.Params{N: 8, Workers: 4, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Transform(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worker *program.Template
+	for _, tm := range plain.Templates {
+		if tm.Name == "worker" {
+			worker = tm
+		}
+	}
+	writes := 0
+	for _, ins := range worker.Blocks[program.EX] {
+		if ins.Op == isa.WRITE {
+			writes++
+		}
+	}
+	if writes != 1 {
+		t.Fatalf("plain transform should keep the WRITE, got %d", writes)
+	}
+	for _, ins := range worker.Blocks[program.PS] {
+		if ins.Op == isa.MFCPUT {
+			t.Fatal("plain transform synthesised a PUT")
+		}
+	}
+}
+
+func TestWriteBackDynamicSizeRejected(t *testing.T) {
+	b := program.NewBuilder("dynout")
+	root := b.Template("root")
+	rg := root.Region("out",
+		program.AddrExpr{Terms: []program.AddrTerm{{Slot: 0, Scale: 1}}},
+		program.SizeSlot(1, 4, 0), 64)
+	root.PL().Load(program.R(1), 0)
+	ex := root.EX()
+	ex.Movi(program.R(2), 0x1000)
+	ex.WriteRegion(rg, program.R(1), program.R(2), 0)
+	root.PS().StoreMailbox(program.R(1), program.R(3), 0).Ffree().Stop()
+	b.Entry(root, 0x1000, 4)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TransformWithOptions(p, Options{WriteBack: true}); err == nil ||
+		!strings.Contains(err.Error(), "constant size") {
+		t.Fatalf("err = %v, want constant-size rejection", err)
+	}
+}

@@ -1,0 +1,786 @@
+// Package spu models the CellDTA processing element: an in-order,
+// dual-issue pipeline in the spirit of the Cell SPU (one memory-class and
+// one compute-class instruction per cycle, no caches, no branch
+// prediction — branches are assumed compiler-hinted and pay a small
+// taken-branch bubble). The SPU executes DTA threads dispatched by its
+// LSE, running their code blocks to completion: PF blocks program the
+// MFC (their cycles are the paper's "Prefetching" overhead), PL/EX/PS
+// blocks are ordinary execution.
+//
+// The pipeline keeps a register scoreboard for result latencies, so
+// local-store reads (6 cycles) stall only dependent instructions —
+// exactly the property that makes prefetched data cheap to access
+// compared to blocking main-memory READs (~memory latency per access).
+package spu
+
+import (
+	"fmt"
+
+	"repro/internal/dta"
+	"repro/internal/isa"
+	"repro/internal/ls"
+	"repro/internal/mfc"
+	"repro/internal/noc"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config holds pipeline micro-parameters. The paper does not specify
+// them; defaults follow the Cell SPU's published latencies.
+type Config struct {
+	LatFX         int // simple fixed-point result latency (2)
+	LatSH         int // shifter latency (4)
+	LatMUL        int // multiplier latency (7)
+	LatDIV        int // iterative divide latency (20)
+	BranchPenalty int // extra cycles after a taken branch (hinted: 2)
+	DispatchCost  int // pipeline refill when switching threads (4)
+	// MFCChannelCycles is the pipeline occupancy of each MFC channel
+	// write / command enqueue. On the Cell the SPU's channel interface
+	// is slow compared to ALU ops, and this cost is what the paper's
+	// "Prefetching" overhead bucket measures (the SPU "must spend some
+	// time in order to program the DMA unit", §4.3).
+	MFCChannelCycles int
+	// PerfectCacheLat > 0 enables the paper's §4.3 always-hit study
+	// ("all memory latencies in the system set to one cycle"): READ and
+	// WRITE are served by an ideal local cache with this latency instead
+	// of crossing the interconnect. The machine wires the backing store.
+	PerfectCacheLat int
+}
+
+// DefaultConfig returns the default pipeline parameters.
+func DefaultConfig() Config {
+	return Config{LatFX: 2, LatSH: 4, LatMUL: 7, LatDIV: 20, BranchPenalty: 2,
+		DispatchCost: 4, MFCChannelCycles: 24}
+}
+
+type phase uint8
+
+const (
+	phIdle phase = iota
+	phRun
+	phWaitRead
+	phWaitFalloc
+)
+
+// producer classes for stall attribution.
+type prodClass uint8
+
+const (
+	prodNone prodClass = iota
+	prodALU
+	prodLS // local store / frame load
+)
+
+// SPU is one processing element's pipeline.
+type SPU struct {
+	cfg   Config
+	id    int // noc endpoint id
+	spe   int
+	memID int
+	net   *noc.Network
+	lse   *dta.LSE
+	dma   *mfc.Engine
+	store *ls.LocalStore
+	prog  *program.Program
+
+	handle *sim.Handle
+
+	regs  [isa.NumRegs]int64
+	ready [isa.NumRegs]sim.Cycle
+	prod  [isa.NumRegs]prodClass
+
+	cur     *dta.Thread
+	curKind dta.WorkKind
+	block   program.BlockKind
+	code    []isa.Instruction
+	pc      int
+
+	ph          phase
+	gapBucket   stats.Bucket // bucket for cycles while sleeping
+	accounted   sim.Cycle    // cycles < accounted are attributed
+	nextIssueAt sim.Cycle    // branch bubbles / dispatch refill
+
+	readDst  uint8
+	reqSeq   int64
+	fallocRd uint8
+
+	st stats.SPU
+
+	// Fault receives execution errors (invalid addresses, bad frame
+	// pointers); the machine aborts the run.
+	Fault func(error)
+	// Magic is the ideal-cache backdoor used when PerfectCacheLat > 0:
+	// it reads/writes main memory functionally without traffic.
+	Magic MagicMem
+}
+
+// MagicMem is the functional memory access used by the perfect-cache
+// mode (width is 4 or 8 bytes).
+type MagicMem interface {
+	MagicRead(addr int64, width int) (int64, error)
+	MagicWrite(addr int64, v int64, width int) error
+}
+
+// New creates the SPU for SPE spe.
+func New(cfg Config, id, spe, memID int, net *noc.Network, lseUnit *dta.LSE,
+	dma *mfc.Engine, store *ls.LocalStore, prog *program.Program) *SPU {
+	s := &SPU{
+		cfg: cfg, id: id, spe: spe, memID: memID,
+		net: net, lse: lseUnit, dma: dma, store: store, prog: prog,
+		ph:        phIdle,
+		gapBucket: stats.Idle,
+		Fault:     func(err error) { panic(err) },
+	}
+	return s
+}
+
+// Name implements sim.Component.
+func (s *SPU) Name() string { return fmt.Sprintf("spu%d", s.spe) }
+
+// Attach stores the engine wake handle.
+func (s *SPU) Attach(h *sim.Handle) { s.handle = h }
+
+// Wake prods the SPU (used by the LSE's OnWork callback).
+func (s *SPU) Wake(now sim.Cycle) {
+	if s.handle != nil {
+		s.handle.Wake(now)
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (s *SPU) Stats() stats.SPU { return s.st }
+
+// Finalize charges the trailing sleep gap up to end (call once when the
+// run stops) and records the run length.
+func (s *SPU) Finalize(end sim.Cycle) {
+	if end > s.accounted {
+		s.st.Breakdown.Add(s.gapBucket, int64(end-s.accounted))
+		s.accounted = end
+	}
+	s.st.Cycles = int64(end)
+}
+
+// account charges the sleep gap [s.accounted, now) to gapBucket.
+func (s *SPU) account(now sim.Cycle) {
+	if now > s.accounted {
+		s.st.Breakdown.Add(s.gapBucket, int64(now-s.accounted))
+		s.accounted = now
+	}
+}
+
+// chargeCycle attributes the single cycle `now` to bucket.
+func (s *SPU) chargeCycle(now sim.Cycle, b stats.Bucket) {
+	s.account(now)
+	if s.accounted == now {
+		s.st.Breakdown.Add(b, 1)
+		s.accounted = now + 1
+	}
+}
+
+// OnFallocResp is wired to the LSE: a FALLOC round trip completed.
+func (s *SPU) OnFallocResp(now sim.Cycle, reqID, fp int64) {
+	if s.ph != phWaitFalloc {
+		s.Fault(fmt.Errorf("spu%d: unexpected falloc response", s.spe))
+		return
+	}
+	s.setReg(s.fallocRd, fp, now+1, prodALU)
+	s.ph = phRun
+	s.Wake(now + 1)
+}
+
+// Deliver implements noc.Endpoint (memory read responses).
+func (s *SPU) Deliver(now sim.Cycle, m noc.Message) {
+	if m.Kind != noc.KindMemReadResp || s.ph != phWaitRead {
+		s.Fault(fmt.Errorf("spu%d: unexpected %s in phase %d", s.spe, m, s.ph))
+		return
+	}
+	s.setReg(s.readDst, m.B, now+1, prodALU)
+	s.ph = phRun
+	s.Wake(now + 1)
+}
+
+func (s *SPU) setReg(r uint8, v int64, ready sim.Cycle, p prodClass) {
+	if r == isa.RegZero {
+		return
+	}
+	s.regs[r] = v
+	s.ready[r] = ready
+	s.prod[r] = p
+}
+
+// dispatch loads a new work unit from the LSE.
+func (s *SPU) dispatch(now sim.Cycle) bool {
+	th, kind := s.lse.NextWork(now)
+	if kind == dta.WorkNone {
+		return false
+	}
+	s.cur, s.curKind = th, kind
+	for i := range s.regs {
+		s.regs[i], s.ready[i], s.prod[i] = 0, 0, prodNone
+	}
+	s.regs[isa.RegFP] = dta.MakeFP(s.spe, th.Slot)
+	s.regs[isa.RegPFB] = int64(th.BufAddr)
+	s.regs[isa.RegSPE] = int64(s.spe)
+	s.regs[isa.RegTag] = th.Seq
+	tmpl := s.prog.Templates[th.Template]
+	if kind == dta.WorkPF {
+		s.block = program.PF
+		s.st.PFBlocks++
+	} else {
+		s.block = program.PL
+	}
+	s.code = tmpl.Blocks[s.block]
+	s.pc = 0
+	s.skipEmptyBlocks(now)
+	s.nextIssueAt = now + sim.Cycle(s.cfg.DispatchCost)
+	s.ph = phRun
+	return true
+}
+
+// skipEmptyBlocks advances past empty code blocks (e.g. a thread with no
+// PL). Returns false when the work unit is exhausted.
+func (s *SPU) skipEmptyBlocks(now sim.Cycle) bool {
+	for s.cur != nil && s.pc >= len(s.code) {
+		if !s.advanceBlock(now) {
+			return false
+		}
+	}
+	return s.cur != nil
+}
+
+// advanceBlock moves to the next block of the current work unit; false
+// means the unit ended.
+func (s *SPU) advanceBlock(now sim.Cycle) bool {
+	if s.curKind == dta.WorkPF {
+		// PF block complete: the thread waits for its DMA tag group.
+		s.lse.PFDone(now, s.cur)
+		s.cur = nil
+		return false
+	}
+	switch s.block {
+	case program.PL:
+		s.block = program.EX
+	case program.EX:
+		s.block = program.PS
+	case program.PS:
+		// PS must end in STOP (validated); falling off is a machine bug.
+		s.Fault(fmt.Errorf("spu%d: PS block of template %d fell through", s.spe,
+			s.cur.Template))
+		s.cur = nil
+		return false
+	}
+	s.code = s.prog.Templates[s.cur.Template].Blocks[s.block]
+	s.pc = 0
+	return true
+}
+
+// bucketFor maps an execution cycle to its breakdown bucket: everything
+// inside a PF block is prefetch overhead (paper Fig. 5 "Prefetching").
+func (s *SPU) bucketFor(b stats.Bucket) stats.Bucket {
+	if s.curKind == dta.WorkPF {
+		return stats.Prefetch
+	}
+	return b
+}
+
+// Tick executes one pipeline cycle.
+func (s *SPU) Tick(now sim.Cycle) sim.Cycle {
+	switch s.ph {
+	case phWaitRead, phWaitFalloc:
+		// Sleeping on a response; gap accounting happens on wake.
+		return sim.Never
+	case phIdle:
+		s.account(now)
+		if !s.dispatch(now) {
+			s.gapBucket = stats.Idle
+			return sim.Never
+		}
+	case phRun:
+		if s.cur == nil && !s.dispatch(now) {
+			s.account(now)
+			s.ph = phIdle
+			s.gapBucket = stats.Idle
+			return sim.Never
+		}
+	}
+	if now < s.nextIssueAt {
+		// Dispatch refill or branch bubble.
+		s.chargeCycle(now, s.bucketFor(stats.Working))
+		return now + 1
+	}
+	bucket, sleep := s.issueCycle(now)
+	s.chargeCycle(now, bucket)
+	if sleep {
+		return sim.Never
+	}
+	return now + 1
+}
+
+// issueCycle attempts to issue up to two instructions at cycle now. It
+// returns the bucket for this cycle and whether the SPU should sleep
+// (blocking wait entered).
+func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, bool) {
+	issued := 0
+	memUsed, cmpUsed := false, false
+	bucket := s.bucketFor(stats.Working)
+
+	for issued < 2 && s.cur != nil {
+		if !s.skipEmptyBlocks(now) {
+			break // work unit ended (PF completion)
+		}
+		ins := s.code[s.pc]
+		info := isa.MustInfo(ins.Op)
+		isMem := info.Unit.MemSlot()
+		if (isMem && memUsed) || (!isMem && cmpUsed) {
+			break // structural: slot taken this cycle
+		}
+		if blocked, cause := s.operandsBlocked(now, ins, info); blocked {
+			if issued == 0 {
+				bucket = s.bucketFor(cause)
+			}
+			break
+		}
+		ok, sleep, cause := s.execute(now, ins, info)
+		if !ok {
+			// Structural stall outside the pipeline (LSE/MFC full).
+			if issued == 0 {
+				bucket = s.bucketFor(cause)
+			}
+			break
+		}
+		issued++
+		s.st.IssuedSlots++
+		s.countInstr(ins.Op)
+		if isMem {
+			memUsed = true
+		} else {
+			cmpUsed = true
+		}
+		if sleep {
+			return s.bucketFor(stats.Working), true
+		}
+		if info.Branch && s.nextIssueAt > now {
+			break // taken branch ends the issue group
+		}
+		if s.cur == nil {
+			break // STOP or PF completion inside execute
+		}
+	}
+	return bucket, false
+}
+
+// operandsBlocked checks the scoreboard for the instruction's source
+// registers and reports the stall cause.
+func (s *SPU) operandsBlocked(now sim.Cycle, ins isa.Instruction, info isa.Info) (bool, stats.Bucket) {
+	check := func(r uint8) (bool, stats.Bucket) {
+		if s.ready[r] > now {
+			if s.prod[r] == prodLS {
+				return true, stats.LSStall
+			}
+			return true, stats.Working
+		}
+		return false, stats.Working
+	}
+	var srcs [3]uint8
+	n := 0
+	switch info.Fmt {
+	case isa.FmtRa:
+		srcs[0], n = ins.Ra, 1
+	case isa.FmtRdRa:
+		srcs[0], n = ins.Ra, 1
+	case isa.FmtRdRaRb:
+		srcs[0], srcs[1], n = ins.Ra, ins.Rb, 2
+	case isa.FmtRdRaImm:
+		srcs[0], n = ins.Ra, 1
+	case isa.FmtRaRbImm:
+		srcs[0], srcs[1], n = ins.Ra, ins.Rb, 2
+	case isa.FmtRdRaRbIm:
+		srcs[0], srcs[1], n = ins.Ra, ins.Rb, 2
+	}
+	// Stores read their value register (Rd) too.
+	switch ins.Op {
+	case isa.STORE, isa.STOREX, isa.WRITE, isa.WRITE8, isa.LSWR, isa.LSWR8,
+		isa.LSWRX, isa.LSWRX8:
+		srcs[n], n = ins.Rd, n+1
+	}
+	for i := 0; i < n; i++ {
+		if blocked, cause := check(srcs[i]); blocked {
+			return true, cause
+		}
+	}
+	return false, stats.Working
+}
+
+func (s *SPU) countInstr(op isa.Op) {
+	s.st.Instr.Total++
+	switch op {
+	case isa.LOAD, isa.LOADX:
+		s.st.Instr.Load++
+	case isa.STORE, isa.STOREX:
+		s.st.Instr.Store++
+	case isa.READ, isa.READ8:
+		s.st.Instr.Read++
+	case isa.WRITE, isa.WRITE8:
+		s.st.Instr.Write++
+	case isa.LSRD, isa.LSRD8, isa.LSWR, isa.LSWR8, isa.LSRDX, isa.LSRDX8,
+		isa.LSWRX, isa.LSWRX8:
+		s.st.Instr.LSDir++
+	case isa.FALLOC, isa.FALLOCX, isa.FFREE, isa.STOP:
+		s.st.Instr.DTA++
+	case isa.MFCLSA, isa.MFCEA, isa.MFCSZ, isa.MFCTAG, isa.MFCGET, isa.MFCPUT,
+		isa.MFCSTAT:
+		s.st.Instr.MFC++
+	}
+}
+
+func (s *SPU) latFor(u isa.Unit) sim.Cycle {
+	switch u {
+	case isa.UnitSH:
+		return sim.Cycle(s.cfg.LatSH)
+	case isa.UnitMUL:
+		return sim.Cycle(s.cfg.LatMUL)
+	case isa.UnitDIV:
+		return sim.Cycle(s.cfg.LatDIV)
+	}
+	return sim.Cycle(s.cfg.LatFX)
+}
+
+// execute performs one instruction. ok=false means a structural stall
+// (retry next cycle, pc unchanged); sleep=true means the SPU enters a
+// blocking wait (pc already advanced).
+func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, info isa.Info) (ok, sleep bool, cause stats.Bucket) {
+	r := func(i uint8) int64 { return s.regs[i] }
+	adv := func() { s.pc++ }
+
+	switch ins.Op {
+	case isa.NOP:
+		adv()
+
+	case isa.MOVI:
+		s.setReg(ins.Rd, int64(ins.Imm), now+s.latFor(info.Unit), prodALU)
+		adv()
+	case isa.MOVHI:
+		s.setReg(ins.Rd, int64(ins.Imm)<<32, now+s.latFor(info.Unit), prodALU)
+		adv()
+	case isa.MOV:
+		s.setReg(ins.Rd, r(ins.Ra), now+s.latFor(info.Unit), prodALU)
+		adv()
+
+	case isa.ADD, isa.ADDI, isa.SUB, isa.SUBI, isa.MUL, isa.MULI, isa.DIV,
+		isa.REM, isa.AND, isa.ANDI, isa.OR, isa.ORI, isa.XOR, isa.XORI,
+		isa.SHL, isa.SHLI, isa.SHR, isa.SHRI, isa.SRA, isa.SRAI,
+		isa.CMPEQ, isa.CMPLT, isa.CMPLTU:
+		s.setReg(ins.Rd, s.alu(ins), now+s.latFor(info.Unit), prodALU)
+		adv()
+
+	case isa.JMP:
+		s.pc = int(ins.Imm)
+		s.nextIssueAt = now + 1 + sim.Cycle(s.cfg.BranchPenalty)
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+		if s.branchTaken(ins) {
+			s.pc = int(ins.Imm)
+			s.nextIssueAt = now + 1 + sim.Cycle(s.cfg.BranchPenalty)
+		} else {
+			adv()
+		}
+
+	case isa.LOAD, isa.LOADX:
+		slot := int64(ins.Imm)
+		if ins.Op == isa.LOADX {
+			slot = r(ins.Ra)
+		}
+		if slot < 0 || slot >= program.MaxFrameSlots {
+			s.Fault(fmt.Errorf("spu%d: frame load slot %d", s.spe, slot))
+			return true, false, stats.Working
+		}
+		addr := s.lse.FrameAddr(s.cur.Slot) + slot*8
+		v, err := s.store.Read64(addr)
+		if err != nil {
+			s.Fault(err)
+			return true, false, stats.Working
+		}
+		ready := s.store.Access(ls.PortSPU, now, 8)
+		s.setReg(ins.Rd, v, ready, prodLS)
+		adv()
+
+	case isa.STORE, isa.STOREX:
+		if !s.lse.CanAccept() {
+			return false, false, stats.LSEStall
+		}
+		slot := int64(ins.Imm)
+		if ins.Op == isa.STOREX {
+			slot = r(ins.Rb)
+		}
+		s.lse.StoreTo(now, r(ins.Ra), int(slot), r(ins.Rd))
+		adv()
+
+	case isa.READ, isa.READ8:
+		width := 4
+		kind := noc.KindMemRead32
+		if ins.Op == isa.READ8 {
+			width, kind = 8, noc.KindMemRead64
+		}
+		addr := r(ins.Ra) + int64(ins.Imm)
+		if s.cfg.PerfectCacheLat > 0 && s.Magic != nil {
+			v, err := s.Magic.MagicRead(addr, width)
+			if err != nil {
+				s.Fault(err)
+				return true, false, stats.Working
+			}
+			s.setReg(ins.Rd, v, now+sim.Cycle(s.cfg.PerfectCacheLat), prodLS)
+			adv()
+			return true, false, stats.Working
+		}
+		s.reqSeq++
+		s.net.Send(now, noc.Message{
+			Src: s.id, Dst: s.memID, Kind: kind,
+			A: addr, C: s.reqSeq,
+		})
+		s.readDst = ins.Rd
+		s.ph = phWaitRead
+		s.gapBucket = s.bucketFor(stats.MemStall)
+		adv()
+		return true, true, stats.Working
+
+	case isa.WRITE, isa.WRITE8:
+		width := 4
+		kind := noc.KindMemWrite32
+		if ins.Op == isa.WRITE8 {
+			width, kind = 8, noc.KindMemWrite64
+		}
+		if s.cfg.PerfectCacheLat > 0 && s.Magic != nil {
+			if err := s.Magic.MagicWrite(r(ins.Ra)+int64(ins.Imm), r(ins.Rd), width); err != nil {
+				s.Fault(err)
+			}
+			adv()
+			break
+		}
+		s.net.Send(now, noc.Message{
+			Src: s.id, Dst: s.memID, Kind: kind,
+			A: r(ins.Ra) + int64(ins.Imm), B: r(ins.Rd),
+		})
+		adv()
+
+	case isa.LSRD, isa.LSRD8, isa.LSRDX, isa.LSRDX8:
+		addr := r(ins.Ra) + int64(ins.Imm)
+		if ins.Op == isa.LSRDX || ins.Op == isa.LSRDX8 {
+			addr += r(ins.Rb)
+		}
+		var v int64
+		var err error
+		if ins.Op == isa.LSRD || ins.Op == isa.LSRDX {
+			v, err = s.store.Read32(addr)
+		} else {
+			v, err = s.store.Read64(addr)
+		}
+		if err != nil {
+			s.Fault(err)
+			return true, false, stats.Working
+		}
+		ready := s.store.Access(ls.PortSPU, now, 8)
+		s.setReg(ins.Rd, v, ready, prodLS)
+		adv()
+
+	case isa.LSWR, isa.LSWR8, isa.LSWRX, isa.LSWRX8:
+		addr := r(ins.Ra) + int64(ins.Imm)
+		if ins.Op == isa.LSWRX || ins.Op == isa.LSWRX8 {
+			addr += r(ins.Rb)
+		}
+		var err error
+		if ins.Op == isa.LSWR || ins.Op == isa.LSWRX {
+			err = s.store.Write32(addr, r(ins.Rd))
+		} else {
+			err = s.store.Write64(addr, r(ins.Rd))
+		}
+		if err != nil {
+			s.Fault(err)
+			return true, false, stats.Working
+		}
+		s.store.Access(ls.PortSPU, now, 8)
+		adv()
+
+	case isa.FALLOC, isa.FALLOCX:
+		if !s.lse.CanAccept() {
+			return false, false, stats.LSEStall
+		}
+		var tmpl, sc int
+		if ins.Op == isa.FALLOC {
+			tmpl, sc = isa.UnpackFalloc(ins.Imm)
+		} else {
+			tmpl, sc = int(r(ins.Ra)), int(r(ins.Rb))
+		}
+		s.reqSeq++
+		s.fallocRd = ins.Rd
+		s.lse.RequestFalloc(now, tmpl, sc, s.reqSeq)
+		s.ph = phWaitFalloc
+		s.gapBucket = s.bucketFor(stats.LSEStall)
+		adv()
+		return true, true, stats.Working
+
+	case isa.FFREE:
+		if !s.lse.CanAccept() {
+			return false, false, stats.LSEStall
+		}
+		s.lse.Ffree(now, s.cur)
+		adv()
+
+	case isa.STOP:
+		if !s.lse.CanAccept() {
+			return false, false, stats.LSEStall
+		}
+		s.lse.ThreadDone(now, s.cur)
+		s.st.Threads++
+		s.cur = nil
+		return true, false, stats.Working
+
+	case isa.MFCLSA:
+		s.dma.WriteChannel(mfc.ChLSA, r(ins.Ra))
+		s.channelBusy(now)
+		adv()
+	case isa.MFCEA:
+		s.dma.WriteChannel(mfc.ChEA, r(ins.Ra))
+		s.channelBusy(now)
+		adv()
+	case isa.MFCSZ:
+		s.dma.WriteChannel(mfc.ChSize, r(ins.Ra))
+		s.channelBusy(now)
+		adv()
+	case isa.MFCTAG:
+		s.dma.WriteChannel(mfc.ChTag, r(ins.Ra))
+		s.channelBusy(now)
+		adv()
+	case isa.MFCGET:
+		if !s.dma.Enqueue(now, mfc.Get) {
+			return false, false, stats.Prefetch
+		}
+		s.channelBusy(now)
+		adv()
+	case isa.MFCPUT:
+		if !s.dma.Enqueue(now, mfc.Put) {
+			return false, false, stats.Prefetch
+		}
+		s.channelBusy(now)
+		adv()
+	case isa.MFCSTAT:
+		s.setReg(ins.Rd, int64(s.dma.Outstanding(s.regs[isa.RegTag])),
+			now+s.latFor(isa.UnitFX), prodALU)
+		adv()
+
+	default:
+		s.Fault(fmt.Errorf("spu%d: unimplemented opcode %s", s.spe, ins.Op))
+	}
+
+	if s.cur != nil && s.pc >= len(s.code) {
+		s.skipEmptyBlocks(now)
+	}
+	return true, false, stats.Working
+}
+
+func (s *SPU) alu(ins isa.Instruction) int64 {
+	a, b := s.regs[ins.Ra], s.regs[ins.Rb]
+	imm := int64(ins.Imm)
+	switch ins.Op {
+	case isa.ADD:
+		return a + b
+	case isa.ADDI:
+		return a + imm
+	case isa.SUB:
+		return a - b
+	case isa.SUBI:
+		return a - imm
+	case isa.MUL:
+		return a * b
+	case isa.MULI:
+		return a * imm
+	case isa.DIV:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case isa.REM:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case isa.AND:
+		return a & b
+	case isa.ANDI:
+		return a & imm
+	case isa.OR:
+		return a | b
+	case isa.ORI:
+		return a | imm
+	case isa.XOR:
+		return a ^ b
+	case isa.XORI:
+		return a ^ imm
+	case isa.SHL:
+		return a << (uint64(b) & 63)
+	case isa.SHLI:
+		return a << (uint64(imm) & 63)
+	case isa.SHR:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case isa.SHRI:
+		return int64(uint64(a) >> (uint64(imm) & 63))
+	case isa.SRA:
+		return a >> (uint64(b) & 63)
+	case isa.SRAI:
+		return a >> (uint64(imm) & 63)
+	case isa.CMPEQ:
+		if a == b {
+			return 1
+		}
+		return 0
+	case isa.CMPLT:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.CMPLTU:
+		if uint64(a) < uint64(b) {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// channelBusy stalls the pipeline for the MFC channel-interface cost
+// (the paper's DMA-programming overhead).
+func (s *SPU) channelBusy(now sim.Cycle) {
+	if s.cfg.MFCChannelCycles > 1 {
+		at := now + sim.Cycle(s.cfg.MFCChannelCycles)
+		if at > s.nextIssueAt {
+			s.nextIssueAt = at
+		}
+	}
+}
+
+func (s *SPU) branchTaken(ins isa.Instruction) bool {
+	a, b := s.regs[ins.Ra], s.regs[ins.Rb]
+	switch ins.Op {
+	case isa.BEQ:
+		return a == b
+	case isa.BNE:
+		return a != b
+	case isa.BLT:
+		return a < b
+	case isa.BGE:
+		return a >= b
+	case isa.BLTU:
+		return uint64(a) < uint64(b)
+	case isa.BGEU:
+		return uint64(a) >= uint64(b)
+	}
+	return false
+}
+
+// DumpState implements sim.StateDumper.
+func (s *SPU) DumpState() string {
+	cur := "none"
+	if s.cur != nil {
+		cur = s.cur.String()
+	}
+	return fmt.Sprintf("phase=%d work=%s block=%s pc=%d", s.ph, cur, s.block, s.pc)
+}

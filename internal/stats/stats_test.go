@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBreakdownAccounting(t *testing.T) {
+	var b Breakdown
+	b.Add(Working, 60)
+	b.Add(MemStall, 30)
+	b.Add(Idle, 10)
+	if b.Total() != 100 {
+		t.Fatalf("Total = %d", b.Total())
+	}
+	if got := b.Percent(Working); got != 60 {
+		t.Fatalf("Percent(Working) = %v", got)
+	}
+	var c Breakdown
+	c.Add(Working, 40)
+	b.Merge(c)
+	if b[Working] != 100 || b.Total() != 140 {
+		t.Fatalf("after merge: %+v", b)
+	}
+}
+
+func TestPercentOfEmptyBreakdown(t *testing.T) {
+	var b Breakdown
+	if b.Percent(Idle) != 0 {
+		t.Fatal("empty breakdown should yield 0%")
+	}
+}
+
+func TestInstrCountsMerge(t *testing.T) {
+	a := InstrCounts{Total: 10, Load: 1, Store: 2, Read: 3, Write: 4}
+	b := InstrCounts{Total: 5, Load: 5, Read: 1}
+	a.Merge(b)
+	if a.Total != 15 || a.Load != 6 || a.Read != 4 || a.Write != 4 {
+		t.Fatalf("merge = %+v", a)
+	}
+}
+
+func TestPipelineUsage(t *testing.T) {
+	s := SPU{IssuedSlots: 100, Cycles: 100}
+	if got := s.PipelineUsage(); got != 0.5 {
+		t.Fatalf("usage = %v, want 0.5", got)
+	}
+	if (SPU{}).PipelineUsage() != 0 {
+		t.Fatal("zero-cycle usage should be 0")
+	}
+}
+
+func TestSPUMerge(t *testing.T) {
+	a := SPU{IssuedSlots: 10, Cycles: 20, Threads: 1}
+	a.Breakdown.Add(Working, 5)
+	b := SPU{IssuedSlots: 30, Cycles: 20, Threads: 2}
+	b.Breakdown.Add(Prefetch, 7)
+	a.Merge(b)
+	if a.IssuedSlots != 40 || a.Cycles != 40 || a.Threads != 3 {
+		t.Fatalf("merge = %+v", a)
+	}
+	if a.Breakdown[Working] != 5 || a.Breakdown[Prefetch] != 7 {
+		t.Fatalf("breakdown = %+v", a.Breakdown)
+	}
+}
+
+func TestBucketNames(t *testing.T) {
+	if Working.String() != "Working" || Prefetch.String() != "Prefetching" {
+		t.Fatal("bucket names wrong")
+	}
+	if !strings.Contains(Bucket(99).String(), "99") {
+		t.Fatal("unknown bucket should include number")
+	}
+}
+
+func TestTableRenderAligned(t *testing.T) {
+	tbl := Table{
+		Title:   "Demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("short", "1")
+	tbl.AddRow("a-much-longer-name", "23456")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// Column start of "value" must match "1" and "23456" rows.
+	col := strings.Index(lines[1], "value")
+	if strings.Index(lines[3], "1") != col {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.345) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(12.345))
+	}
+	if Ratio(11.1845) != "11.18x" {
+		t.Fatalf("Ratio = %q", Ratio(11.1845))
+	}
+}

@@ -1,0 +1,148 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func TestNilBufferIsNoOp(t *testing.T) {
+	var b *trace.Buffer
+	b.Emit(trace.Event{}) // must not panic
+	if b.Events() != nil || b.Dropped() != 0 {
+		t.Fatal("nil buffer not empty")
+	}
+}
+
+func TestBufferCapacityAndDrop(t *testing.T) {
+	b := trace.NewBuffer(2)
+	for i := 0; i < 5; i++ {
+		b.Emit(trace.Event{Thread: int64(i)})
+	}
+	if len(b.Events()) != 2 || b.Dropped() != 3 {
+		t.Fatalf("events=%d dropped=%d", len(b.Events()), b.Dropped())
+	}
+	var out bytes.Buffer
+	b.Dump(&out)
+	if !strings.Contains(out.String(), "3 further events dropped") {
+		t.Fatalf("dump missing drop notice: %q", out.String())
+	}
+}
+
+// TestLifecycleOrderMatchesFigure4 runs a prefetching thread and checks
+// the paper's state order: frame-alloc -> stores-done -> program-dma ->
+// pf-dispatch -> wait-dma -> ready -> dispatch -> done -> frame-freed.
+func TestLifecycleOrderMatchesFigure4(t *testing.T) {
+	b := program.NewBuilder("lifecycle")
+	root := b.Template("root")
+	pf := root.Block(program.PF)
+	pf.Load(program.R(1), 0)
+	pf.Mfcea(program.R(1))
+	pf.Mov(program.R(2), program.RegPFB)
+	pf.Mfclsa(program.R(2))
+	pf.Movi(program.R(3), 64)
+	pf.Mfcsz(program.R(3))
+	pf.Mfctag(program.RegTag)
+	pf.Mfcget()
+	root.PL().Load(program.R(4), 0)
+	root.PS().
+		StoreMailbox(program.R(4), program.R(5), 0).
+		Ffree().
+		Stop()
+	b.Entry(root, 0x100000)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Templates[0].PrefetchBytes = 64
+
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = 1
+	cfg.MaxCycles = 1_000_000
+	cfg.TraceCap = 64
+	m, err := cell.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace buffer on result")
+	}
+	var kinds []trace.Kind
+	var cycles []int64
+	for _, e := range res.Trace.Events() {
+		if e.Thread != 1 { // the root thread on SPE 0
+			continue
+		}
+		kinds = append(kinds, e.Kind)
+		cycles = append(cycles, int64(e.At))
+	}
+	want := []trace.Kind{
+		trace.FrameAlloc, trace.StoresDone, trace.ProgramDMA,
+		trace.PFDispatch, trace.WaitDMA, trace.Ready, trace.Dispatch,
+		trace.FrameFreed, trace.Done,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("lifecycle = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("lifecycle[%d] = %s, want %s (full: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+	// Events are causally ordered in time.
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] < cycles[i-1] {
+			t.Fatalf("event %d at cycle %d precedes event %d at %d",
+				i, cycles[i], i-1, cycles[i-1])
+		}
+	}
+	// Wait-for-DMA must actually take time (memory latency is 150).
+	dmaWait := cycles[5] - cycles[4] // WaitDMA -> Ready
+	if dmaWait < 100 {
+		t.Fatalf("DMA wait lasted %d cycles, expected >= 100", dmaWait)
+	}
+}
+
+func TestTracingDisabledByDefault(t *testing.T) {
+	b := program.NewBuilder("notrace")
+	root := b.Template("root")
+	root.PL().Load(program.R(1), 0)
+	root.PS().StoreMailbox(program.R(1), program.R(2), 0).Ffree().Stop()
+	b.Entry(root, 1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = 1
+	cfg.MaxCycles = 100_000
+	m, err := cell.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace buffer allocated without TraceCap")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := trace.Event{At: 42, SPE: 3, Kind: trace.Ready, Thread: 7, Template: 2}
+	s := e.String()
+	for _, want := range []string{"42", "spe3", "ready", "thread=7", "tmpl=2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+}

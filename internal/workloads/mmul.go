@@ -1,0 +1,212 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+func init() {
+	register(&Workload{
+		Name:        "mmul",
+		Description: "matrix multiply: workers compute blocks of output rows (paper §4.2)",
+		DefaultN:    32,
+		Build:       buildMmul,
+	})
+}
+
+// buildMmul constructs the matrix-multiply program: two n x n input
+// matrices live in main memory; T worker threads each compute n/T output
+// rows, reading matrix elements with READ instructions (2*n^3 in total,
+// matching paper Table 5) and posting each result with one WRITE (n^2).
+// Region annotations mark each worker's block of A rows and the whole of
+// B, so the prefetch transformer can decouple every access.
+func buildMmul(p Params) (*program.Program, error) {
+	n := p.N
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("workloads: mmul size %d must be a positive power of two", n)
+	}
+	T := p.Workers
+	if T == 0 {
+		T = 16
+	}
+	if err := checkPow2("mmul", T); err != nil {
+		return nil, err
+	}
+	if T > n {
+		T = n
+	}
+	if T > program.MaxFrameSlots {
+		T = program.MaxFrameSlots
+	}
+	rows := n / T
+
+	a := randomInt32s(n*n, p.Seed+1)
+	bm := randomInt32s(n*n, p.Seed+2)
+	for i := range a {
+		a[i] &= 0xFFFF // keep checksums within int64 for any n
+		bm[i] &= 0xFFFF
+	}
+	baseA, baseB, baseC := int64(arenaA), int64(arenaB), int64(arenaOut)
+
+	b := program.NewBuilder("mmul")
+
+	joiner := b.Template("joiner")
+	{
+		pl := joiner.PL()
+		pl.Movi(program.R(1), 0) // sum
+		pl.Movi(program.R(2), 0) // i
+		pl.Movi(program.R(3), int32(T))
+		pl.Label("sum")
+		pl.Loadx(program.R(4), program.R(2))
+		pl.Add(program.R(1), program.R(1), program.R(4))
+		pl.Addi(program.R(2), program.R(2), 1)
+		pl.Blt(program.R(2), program.R(3), "sum")
+		joiner.PS().
+			StoreMailbox(program.R(1), program.R(5), 0).
+			Ffree().
+			Stop()
+	}
+
+	worker := b.Template("worker")
+	{
+		// Frame layout: 0=baseA 1=baseB 2=baseC 3=n 4=row0 5=rows
+		// 6=joinerFP 7=slotIdx.
+		// Both matrices are 2D objects: the DMA fetches them one row per
+		// command (paper: "prefetch the entire data structure or only
+		// parts of it"), which is where mmul's prefetch overhead comes
+		// from (Fig. 5b reports 28%).
+		rgA := worker.RegionChunked("Arows",
+			program.AddrExpr{Terms: []program.AddrTerm{
+				{Slot: 0, Scale: 1}, {Slot: 4, Scale: int64(4 * n)},
+			}},
+			program.SizeConst(int64(4*rows*n)), 4*rows*n, 4*n)
+		rgB := worker.RegionChunked("B",
+			program.AddrExpr{Terms: []program.AddrTerm{{Slot: 1, Scale: 1}}},
+			program.SizeConst(int64(4*n*n)), 4*n*n, 4*n)
+		// The output rows are write-tagged: the default transformation
+		// leaves the WRITEs posted (as in the paper); the write-back
+		// extension (ablation A7) stages them locally and flushes with
+		// PS-block DMA PUTs.
+		rgC := worker.RegionChunked("Crows",
+			program.AddrExpr{Terms: []program.AddrTerm{
+				{Slot: 2, Scale: 1}, {Slot: 4, Scale: int64(4 * n)},
+			}},
+			program.SizeConst(int64(4*rows*n)), 4*rows*n, 4*n)
+
+		pl := worker.PL()
+		for i := 0; i < 8; i++ {
+			pl.Load(program.R(1+i), i)
+		}
+		ex := worker.EX()
+		rBaseA, rBaseB, rBaseC, rN := program.R(1), program.R(2), program.R(3), program.R(4)
+		rRow0, rRows, _, _ := program.R(5), program.R(6), program.R(7), program.R(8)
+		rN4 := program.R(9)
+		rSum := program.R(10)
+		rI, rIEnd := program.R(11), program.R(12)
+		rJ := program.R(13)
+		rARow, rCRow := program.R(14), program.R(15)
+		rAcc, rK := program.R(16), program.R(17)
+		rAPtr, rBPtr := program.R(18), program.R(19)
+		rAV, rBV, rProd, rAddr := program.R(20), program.R(21), program.R(22), program.R(23)
+
+		ex.Shli(rN4, rN, 2)
+		ex.Movi(rSum, 0)
+		ex.Mov(rI, rRow0)
+		ex.Add(rIEnd, rRow0, rRows)
+		ex.Label("rowloop")
+		ex.Mul(rARow, rI, rN4)
+		ex.Add(rCRow, rBaseC, rARow)
+		ex.Add(rARow, rBaseA, rARow)
+		ex.Movi(rJ, 0)
+		ex.Label("colloop")
+		ex.Movi(rAcc, 0)
+		ex.Movi(rK, 0)
+		ex.Mov(rAPtr, rARow)
+		ex.Shli(rBPtr, rJ, 2)
+		ex.Add(rBPtr, rBaseB, rBPtr)
+		ex.Label("dotloop")
+		ex.ReadRegion(rgA, rAV, rAPtr, 0)
+		ex.ReadRegion(rgB, rBV, rBPtr, 0)
+		ex.Mul(rProd, rAV, rBV)
+		ex.Add(rAcc, rAcc, rProd)
+		ex.Addi(rAPtr, rAPtr, 4)
+		ex.Add(rBPtr, rBPtr, rN4)
+		ex.Addi(rK, rK, 1)
+		ex.Blt(rK, rN, "dotloop")
+		ex.Shli(rAddr, rJ, 2)
+		ex.Add(rAddr, rCRow, rAddr)
+		ex.WriteRegion(rgC, rAcc, rAddr, 0)
+		ex.Add(rSum, rSum, rAcc)
+		ex.Addi(rJ, rJ, 1)
+		ex.Blt(rJ, rN, "colloop")
+		ex.Addi(rI, rI, 1)
+		ex.Blt(rI, rIEnd, "rowloop")
+
+		ps := worker.PS()
+		ps.Storex(rSum, program.R(7), program.R(8))
+		ps.Ffree()
+		ps.Stop()
+	}
+
+	root := b.Template("root")
+	{
+		pl := root.PL()
+		for i := 0; i < 4; i++ {
+			pl.Load(program.R(1+i), i) // baseA baseB baseC n
+		}
+		ps := root.PS()
+		rJoin := program.R(5)
+		rW, rT, rRows := program.R(6), program.R(7), program.R(8)
+		rChild, rRow0 := program.R(9), program.R(10)
+		ps.Falloc(rJoin, joiner, T)
+		ps.Movi(rW, 0)
+		ps.Movi(rT, int32(T))
+		ps.Movi(rRows, int32(rows))
+		ps.Label("fork")
+		ps.Falloc(rChild, worker, 8)
+		ps.Store(program.R(1), rChild, 0)
+		ps.Store(program.R(2), rChild, 1)
+		ps.Store(program.R(3), rChild, 2)
+		ps.Store(program.R(4), rChild, 3)
+		ps.Mul(rRow0, rW, rRows)
+		ps.Store(rRow0, rChild, 4)
+		ps.Store(rRows, rChild, 5)
+		ps.Store(rJoin, rChild, 6)
+		ps.Store(rW, rChild, 7)
+		ps.Addi(rW, rW, 1)
+		ps.Blt(rW, rT, "fork")
+		ps.Ffree()
+		ps.Stop()
+	}
+
+	b.Entry(root, baseA, baseB, baseC, int64(n))
+	b.Segment(baseA, int32Segment(a))
+	b.Segment(baseB, int32Segment(bm))
+	b.ExpectTokens(1)
+
+	ref := refMatMul(a, bm, n)
+	var refToken int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for k := 0; k < n; k++ {
+				acc += int64(a[i*n+k]) * int64(bm[k*n+j])
+			}
+			refToken += acc
+		}
+	}
+	b.Check(func(mr program.MemReader, tokens []int64) error {
+		if len(tokens) != 1 || tokens[0] != refToken {
+			return fmt.Errorf("mmul: checksum %v, want [%d]", tokens, refToken)
+		}
+		for i, want := range ref {
+			got := mr.Read32(baseC + int64(4*i))
+			if got != int64(want) {
+				return fmt.Errorf("mmul: C[%d] = %d, want %d", i, got, want)
+			}
+		}
+		return nil
+	})
+	return b.Build()
+}

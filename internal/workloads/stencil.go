@@ -1,0 +1,220 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+func init() {
+	register(&Workload{
+		Name: "stencil",
+		Description: "3x3 Gaussian blur with halo rows (extension workload: " +
+			"9 reads + 1 write per interior pixel)",
+		DefaultN: 34, // 32x32 interior
+		Build:    buildStencil,
+	})
+}
+
+// stencilWeights is the 3x3 Gaussian kernel (sum 16; output >> 4).
+var stencilWeights = [3][3]int32{
+	{1, 2, 1},
+	{2, 4, 2},
+	{1, 2, 1},
+}
+
+// buildStencil constructs a banded 3x3 convolution: T workers each blur
+// a band of interior rows, reading their band plus one halo row on each
+// side (a region with a negative constant offset — the halo) and writing
+// the band's full output rows (borders zeroed explicitly so the band is
+// fully covered, which makes the output write-back-able under ablation
+// A7). It extends the paper's evaluation with a kernel whose region
+// geometry is not a simple rectangle copy.
+func buildStencil(p Params) (*program.Program, error) {
+	n := p.N
+	if n < 4 {
+		return nil, fmt.Errorf("workloads: stencil size %d too small", n)
+	}
+	interior := n - 2
+	T := p.Workers
+	if T == 0 {
+		T = 16
+	}
+	// Shrink to a divisor of the interior height (stencil bands need
+	// equal constant heights for constant-size regions).
+	for T > 1 && interior%T != 0 {
+		T--
+	}
+	if T > program.MaxFrameSlots {
+		return nil, fmt.Errorf("workloads: stencil workers %d exceed joiner fan-in", T)
+	}
+	rows := interior / T
+	n4 := 4 * n
+
+	img := randomInt32s(n*n, p.Seed+6)
+	for i := range img {
+		img[i] &= 0xFF
+	}
+	baseIn, baseOut := int64(arenaA), int64(arenaOut)
+
+	b := program.NewBuilder("stencil")
+
+	joiner := b.Template("joiner")
+	{
+		pl := joiner.PL()
+		pl.Movi(program.R(1), 0)
+		pl.Movi(program.R(2), 0)
+		pl.Movi(program.R(3), int32(T))
+		pl.Label("sum")
+		pl.Loadx(program.R(4), program.R(2))
+		pl.Add(program.R(1), program.R(1), program.R(4))
+		pl.Addi(program.R(2), program.R(2), 1)
+		pl.Blt(program.R(2), program.R(3), "sum")
+		joiner.PS().
+			StoreMailbox(program.R(1), program.R(5), 0).
+			Ffree().
+			Stop()
+	}
+
+	worker := b.Template("worker")
+	{
+		// Frame: 0=baseIn 1=baseOut 2=n 3=row0 (first interior row of
+		// the band) 4=joinerFP 5=slotIdx.
+		// Input band including halo rows: starts one row above row0.
+		rgIn := worker.RegionChunked("band",
+			program.AddrExpr{
+				Const: int64(-n4),
+				Terms: []program.AddrTerm{
+					{Slot: 0, Scale: 1}, {Slot: 3, Scale: int64(n4)},
+				},
+			},
+			program.SizeConst(int64((rows+2)*n4)), (rows+2)*n4, n4)
+		rgOut := worker.RegionChunked("out",
+			program.AddrExpr{Terms: []program.AddrTerm{
+				{Slot: 1, Scale: 1}, {Slot: 3, Scale: int64(n4)},
+			}},
+			program.SizeConst(int64(rows*n4)), rows*n4, n4)
+
+		pl := worker.PL()
+		for i := 0; i < 6; i++ {
+			pl.Load(program.R(1+i), i)
+		}
+		ex := worker.EX()
+		rBaseIn, rBaseOut, rN, rRow0 := program.R(1), program.R(2), program.R(3), program.R(4)
+		rN4 := program.R(9)
+		rSum := program.R(10)
+		rY, rYEnd := program.R(11), program.R(12)
+		rInRow, rOutRow := program.R(13), program.R(14)
+		rX, rXEnd := program.R(15), program.R(16)
+		rPix, rAcc, rV := program.R(17), program.R(18), program.R(19)
+		rAddr, rZero := program.R(20), program.R(21)
+
+		ex.Shli(rN4, rN, 2)
+		ex.Movi(rSum, 0)
+		ex.Movi(rZero, 0)
+		ex.Mov(rY, rRow0)
+		ex.Addi(rYEnd, rRow0, int32(rows))
+		ex.Label("rowloop")
+		// rInRow: address of In[y-1][0]; rOutRow: address of Out[y][0].
+		ex.Subi(rInRow, rY, 1)
+		ex.Mul(rInRow, rInRow, rN4)
+		ex.Add(rInRow, rBaseIn, rInRow)
+		ex.Mul(rOutRow, rY, rN4)
+		ex.Add(rOutRow, rBaseOut, rOutRow)
+		// Zero the band's border pixels so output rows are fully
+		// covered (required for write-back flushing whole rows).
+		ex.WriteRegion(rgOut, rZero, rOutRow, 0)
+		ex.Subi(rAddr, rN, 1)
+		ex.Shli(rAddr, rAddr, 2)
+		ex.Add(rAddr, rOutRow, rAddr)
+		ex.WriteRegion(rgOut, rZero, rAddr, 0)
+		ex.Movi(rX, 1)
+		ex.Subi(rXEnd, rN, 1)
+		ex.Label("pxloop")
+		// rPix: address of In[y-1][x-1].
+		ex.Shli(rPix, rX, 2)
+		ex.Add(rPix, rInRow, rPix)
+		ex.Subi(rPix, rPix, 4)
+		ex.Movi(rAcc, 0)
+		for dy := 0; dy < 3; dy++ {
+			for dx := 0; dx < 3; dx++ {
+				off := int32(dy*n4 + dx*4)
+				ex.ReadRegion(rgIn, rV, rPix, off)
+				switch stencilWeights[dy][dx] {
+				case 2:
+					ex.Shli(rV, rV, 1)
+				case 4:
+					ex.Shli(rV, rV, 2)
+				}
+				ex.Add(rAcc, rAcc, rV)
+			}
+		}
+		ex.Srai(rAcc, rAcc, 4) // / 16
+		ex.Shli(rAddr, rX, 2)
+		ex.Add(rAddr, rOutRow, rAddr)
+		ex.WriteRegion(rgOut, rAcc, rAddr, 0)
+		ex.Add(rSum, rSum, rAcc)
+		ex.Addi(rX, rX, 1)
+		ex.Blt(rX, rXEnd, "pxloop")
+		ex.Addi(rY, rY, 1)
+		ex.Blt(rY, rYEnd, "rowloop")
+
+		ps := worker.PS()
+		ps.Storex(rSum, program.R(5), program.R(6))
+		ps.Ffree()
+		ps.Stop()
+	}
+
+	root := b.Template("root")
+	{
+		pl := root.PL()
+		for i := 0; i < 3; i++ {
+			pl.Load(program.R(1+i), i) // baseIn baseOut n
+		}
+		ps := root.PS()
+		rJoin := program.R(4)
+		rW, rT, rRows := program.R(5), program.R(6), program.R(7)
+		rChild, rRow0 := program.R(8), program.R(9)
+		ps.Falloc(rJoin, joiner, T)
+		ps.Movi(rW, 0)
+		ps.Movi(rT, int32(T))
+		ps.Movi(rRows, int32(rows))
+		ps.Label("fork")
+		ps.Falloc(rChild, worker, 6)
+		ps.Store(program.R(1), rChild, 0)
+		ps.Store(program.R(2), rChild, 1)
+		ps.Store(program.R(3), rChild, 2)
+		ps.Mul(rRow0, rW, rRows)
+		ps.Addi(rRow0, rRow0, 1) // interior starts at row 1
+		ps.Store(rRow0, rChild, 3)
+		ps.Store(rJoin, rChild, 4)
+		ps.Store(rW, rChild, 5)
+		ps.Addi(rW, rW, 1)
+		ps.Blt(rW, rT, "fork")
+		ps.Ffree()
+		ps.Stop()
+	}
+
+	b.Entry(root, baseIn, baseOut, int64(n))
+	b.Segment(baseIn, int32Segment(img))
+	b.ExpectTokens(1)
+
+	ref := refStencil(img, n)
+	var refToken int64
+	for _, v := range ref {
+		refToken += int64(v)
+	}
+	b.Check(func(mr program.MemReader, tokens []int64) error {
+		if len(tokens) != 1 || tokens[0] != refToken {
+			return fmt.Errorf("stencil: checksum %v, want [%d]", tokens, refToken)
+		}
+		for i, want := range ref {
+			got := mr.Read32(baseOut + int64(4*i))
+			if got != int64(want) {
+				return fmt.Errorf("stencil: out[%d] = %d, want %d", i, got, want)
+			}
+		}
+		return nil
+	})
+	return b.Build()
+}

@@ -1,0 +1,137 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+func init() {
+	register(&Workload{
+		Name:        "vecsum",
+		Description: "parallel vector sum (quickstart demonstrator)",
+		DefaultN:    4096,
+		Build:       buildVecsum,
+	})
+}
+
+// buildVecsum constructs a simple data-parallel reduction: T workers
+// each sum a contiguous slice of a global int32 vector and a joiner adds
+// the partial sums. It is the smallest workload that exercises forking,
+// region prefetching and the mailbox, and is used by the quickstart
+// example.
+func buildVecsum(p Params) (*program.Program, error) {
+	n := p.N
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("workloads: vecsum size %d must be a positive power of two", n)
+	}
+	T := p.Workers
+	if T == 0 {
+		T = 8
+	}
+	if err := checkPow2("vecsum", T); err != nil {
+		return nil, err
+	}
+	if T > n {
+		T = n
+	}
+	if T > program.MaxFrameSlots {
+		T = program.MaxFrameSlots
+	}
+	per := n / T
+
+	vals := randomInt32s(n, p.Seed+5)
+	base := int64(arenaA)
+
+	b := program.NewBuilder("vecsum")
+
+	joiner := b.Template("joiner")
+	{
+		pl := joiner.PL()
+		pl.Movi(program.R(1), 0)
+		pl.Movi(program.R(2), 0)
+		pl.Movi(program.R(3), int32(T))
+		pl.Label("sum")
+		pl.Loadx(program.R(4), program.R(2))
+		pl.Add(program.R(1), program.R(1), program.R(4))
+		pl.Addi(program.R(2), program.R(2), 1)
+		pl.Blt(program.R(2), program.R(3), "sum")
+		joiner.PS().
+			StoreMailbox(program.R(1), program.R(5), 0).
+			Ffree().
+			Stop()
+	}
+
+	worker := b.Template("worker")
+	{
+		// Frame: 0=base 1=start 2=count 3=joinerFP 4=slotIdx.
+		rg := worker.Region("slice",
+			program.AddrExpr{Terms: []program.AddrTerm{
+				{Slot: 0, Scale: 1}, {Slot: 1, Scale: 4},
+			}},
+			program.SizeSlot(2, 4, 0), 4*per)
+
+		pl := worker.PL()
+		for i := 0; i < 5; i++ {
+			pl.Load(program.R(1+i), i)
+		}
+		ex := worker.EX()
+		rBase, rStart, rCount := program.R(1), program.R(2), program.R(3)
+		rSum, rI, rPtr, rV := program.R(10), program.R(11), program.R(12), program.R(13)
+		ex.Movi(rSum, 0)
+		ex.Movi(rI, 0)
+		ex.Shli(rPtr, rStart, 2)
+		ex.Add(rPtr, rBase, rPtr)
+		ex.Label("loop")
+		ex.ReadRegion(rg, rV, rPtr, 0)
+		ex.Add(rSum, rSum, rV)
+		ex.Addi(rPtr, rPtr, 4)
+		ex.Addi(rI, rI, 1)
+		ex.Blt(rI, rCount, "loop")
+		ps := worker.PS()
+		ps.Storex(rSum, program.R(4), program.R(5))
+		ps.Ffree()
+		ps.Stop()
+	}
+
+	root := b.Template("root")
+	{
+		pl := root.PL()
+		pl.Load(program.R(1), 0) // base
+		pl.Load(program.R(2), 1) // n
+		ps := root.PS()
+		rJoin, rW, rT, rPer, rChild, rStart := program.R(3), program.R(4), program.R(5), program.R(6), program.R(7), program.R(8)
+		ps.Falloc(rJoin, joiner, T)
+		ps.Movi(rW, 0)
+		ps.Movi(rT, int32(T))
+		ps.Movi(rPer, int32(per))
+		ps.Label("fork")
+		ps.Falloc(rChild, worker, 5)
+		ps.Store(program.R(1), rChild, 0)
+		ps.Mul(rStart, rW, rPer)
+		ps.Store(rStart, rChild, 1)
+		ps.Store(rPer, rChild, 2)
+		ps.Store(rJoin, rChild, 3)
+		ps.Store(rW, rChild, 4)
+		ps.Addi(rW, rW, 1)
+		ps.Blt(rW, rT, "fork")
+		ps.Ffree()
+		ps.Stop()
+	}
+
+	b.Entry(root, base, int64(n))
+	b.Segment(base, int32Segment(vals))
+	b.ExpectTokens(1)
+
+	var want int64
+	for _, v := range vals {
+		want += int64(v)
+	}
+	b.Check(func(mr program.MemReader, tokens []int64) error {
+		if len(tokens) != 1 || tokens[0] != want {
+			return fmt.Errorf("vecsum: %v, want [%d]", tokens, want)
+		}
+		return nil
+	})
+	return b.Build()
+}

@@ -1,0 +1,118 @@
+// Package workloads provides the paper's three benchmarks — bitcount
+// (MiBench), matrix multiply and image zoom (§4.2) — hand-built as DTA
+// thread programs through the builder API, plus a small vecsum
+// demonstrator. Each workload is constructed once with region
+// annotations; running it "original" executes blocking READs, and
+// running it through prefetch.Transform executes the paper's DMA
+// prefetching version. Every workload carries a functional check against
+// a pure-Go reference implementation.
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// Params parameterises a workload build.
+type Params struct {
+	N       int    // problem size: matrix/image dimension, or bitcnt iterations
+	Workers int    // number of worker threads (power of two; 0 = caller default)
+	Chunk   int    // bitcnt: values per worker thread (0 = default 16)
+	Chains  int    // bitcnt: parallel spawner chains (0 = default 1)
+	Seed    uint64 // input-data seed
+}
+
+// Workload is a named benchmark in the registry.
+type Workload struct {
+	Name        string
+	Description string
+	// DefaultN is the paper's problem size for this benchmark.
+	DefaultN int
+	// Build constructs the (unprefetched) program. Callers transform it
+	// with the prefetch package to obtain the prefetching variant.
+	Build func(p Params) (*program.Program, error)
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// Get returns a workload by name.
+func Get(name string) (*Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names lists the registered workloads in sorted order.
+func Names() []string {
+	var names []string
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AutoWorkers picks the worker-thread count for a machine with spes
+// processing elements: the smallest power of two >= 2*spes, capped at
+// max (itself rounded down to a power of two). The paper always uses a
+// power-of-two thread count (§4.2).
+func AutoWorkers(spes, max int) int {
+	w := 1
+	for w < 2*spes {
+		w *= 2
+	}
+	capped := 1
+	for capped*2 <= max {
+		capped *= 2
+	}
+	if w > capped {
+		return capped
+	}
+	return w
+}
+
+// Memory map used by all workloads: inputs and outputs live in distinct
+// megabyte-aligned arenas of main memory.
+const (
+	arenaA   = 0x0100_0000
+	arenaB   = 0x0200_0000
+	arenaOut = 0x0300_0000
+	arenaAux = 0x0400_0000
+)
+
+// int32Segment serialises 32-bit words little-endian.
+func int32Segment(vals []int32) []byte {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return buf
+}
+
+// randomInt32s generates n non-negative pseudo-random 31-bit values.
+func randomInt32s(n int, seed uint64) []int32 {
+	rng := sim.NewRand(seed)
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(rng.Uint32() & 0x7FFFFFFF)
+	}
+	return out
+}
+
+// checkPow2 validates a worker count.
+func checkPow2(name string, w int) error {
+	if w <= 0 || w&(w-1) != 0 {
+		return fmt.Errorf("workloads: %s workers %d not a positive power of two", name, w)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+// ZoomFactor is the fixed upsampling factor of the zoom benchmark.
+const ZoomFactor = 4
+
+func init() {
+	register(&Workload{
+		Name:        "zoom",
+		Description: "image zoom: workers interpolate bands of output rows (paper §4.2)",
+		DefaultN:    32,
+		Build:       buildZoom,
+	})
+}
+
+// buildZoom constructs the image-zoom program: an n x n input image is
+// upsampled by ZoomFactor into a (4n) x (4n) output using horizontal
+// linear interpolation. Each output pixel performs exactly two READs of
+// the input and one WRITE of the output, reproducing Table 5's 2:1
+// read/write ratio (32768 reads, 16384 writes for n=32). Workers own
+// bands of output rows; each band touches a contiguous block of input
+// rows, declared as a region for the prefetch transformer.
+func buildZoom(p Params) (*program.Program, error) {
+	n := p.N
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("workloads: zoom size %d must be a positive power of two", n)
+	}
+	fn := n * ZoomFactor
+	T := p.Workers
+	if T == 0 {
+		T = 16
+	}
+	if err := checkPow2("zoom", T); err != nil {
+		return nil, err
+	}
+	if T > fn {
+		T = fn
+	}
+	if T > program.MaxFrameSlots {
+		T = program.MaxFrameSlots
+	}
+	orows := fn / T
+	// Source rows one band touches: orows/f full rows, or a single row
+	// when the band is narrower than the zoom factor (both are powers of
+	// two, so a band never straddles a partial row pair).
+	span := orows / ZoomFactor
+	if span == 0 {
+		span = 1
+	}
+
+	img := randomInt32s(n*n, p.Seed+3)
+	for i := range img {
+		img[i] &= 0xFF // 8-bit grayscale pixels
+	}
+	baseIn, baseOut := int64(arenaA), int64(arenaOut)
+
+	b := program.NewBuilder("zoom")
+
+	joiner := b.Template("joiner")
+	{
+		pl := joiner.PL()
+		pl.Movi(program.R(1), 0)
+		pl.Movi(program.R(2), 0)
+		pl.Movi(program.R(3), int32(T))
+		pl.Label("sum")
+		pl.Loadx(program.R(4), program.R(2))
+		pl.Add(program.R(1), program.R(1), program.R(4))
+		pl.Addi(program.R(2), program.R(2), 1)
+		pl.Blt(program.R(2), program.R(3), "sum")
+		joiner.PS().
+			StoreMailbox(program.R(1), program.R(5), 0).
+			Ffree().
+			Stop()
+	}
+
+	worker := b.Template("worker")
+	{
+		// Frame layout: 0=baseIn 1=baseOut 2=n 3=oy0 4=orows 5=inRow0
+		// 6=joinerFP 7=slotIdx.
+		// The input band is a 2D object fetched one image row per DMA
+		// command.
+		rgIn := worker.RegionChunked("inrows",
+			program.AddrExpr{Terms: []program.AddrTerm{
+				{Slot: 0, Scale: 1}, {Slot: 5, Scale: int64(4 * n)},
+			}},
+			program.SizeConst(int64(4*span*n+8)), 4*span*n+8, 4*n)
+		// Output band, write-tagged for the A7 write-back extension.
+		rgOut := worker.RegionChunked("outrows",
+			program.AddrExpr{Terms: []program.AddrTerm{
+				{Slot: 1, Scale: 1}, {Slot: 3, Scale: int64(4 * fn)},
+			}},
+			program.SizeConst(int64(4*orows*fn)), 4*orows*fn, 4*fn)
+
+		pl := worker.PL()
+		for i := 0; i < 8; i++ {
+			pl.Load(program.R(1+i), i)
+		}
+		ex := worker.EX()
+		rBaseIn, rBaseOut, rN, rOy0 := program.R(1), program.R(2), program.R(3), program.R(4)
+		rORows := program.R(5)
+		rN4, rFN4, rFN := program.R(9), program.R(10), program.R(24)
+		rSum := program.R(11)
+		rY, rYEnd := program.R(12), program.R(13)
+		rSyOff, rInRow := program.R(14), program.R(15)
+		rOutRow := program.R(16)
+		rX := program.R(17)
+		rAddr, rP1, rP2 := program.R(18), program.R(19), program.R(20)
+		rD, rFrac, rOut := program.R(21), program.R(22), program.R(23)
+
+		ex.Shli(rN4, rN, 2)  // input row bytes
+		ex.Shli(rFN4, rN, 4) // output row bytes (4n * 4)
+		ex.Shli(rFN, rN, 2)  // output pixels per row (4n)
+		ex.Movi(rSum, 0)
+		ex.Mov(rY, rOy0)
+		ex.Add(rYEnd, rOy0, rORows)
+		ex.Label("rowloop")
+		ex.Srai(rSyOff, rY, 2) // sy = y / 4
+		ex.Mul(rInRow, rSyOff, rN4)
+		ex.Add(rInRow, rBaseIn, rInRow)
+		ex.Mul(rOutRow, rY, rFN4)
+		ex.Add(rOutRow, rBaseOut, rOutRow)
+		ex.Movi(rX, 0)
+		ex.Label("pxloop")
+		ex.Srai(rAddr, rX, 2) // sx
+		ex.Shli(rAddr, rAddr, 2)
+		ex.Add(rAddr, rInRow, rAddr)
+		ex.ReadRegion(rgIn, rP1, rAddr, 0)
+		ex.ReadRegion(rgIn, rP2, rAddr, 4)
+		ex.Sub(rD, rP2, rP1)
+		ex.Andi(rFrac, rX, ZoomFactor-1)
+		ex.Mul(rD, rD, rFrac)
+		ex.Srai(rD, rD, 2) // * frac / 4 (floor)
+		ex.Add(rOut, rP1, rD)
+		ex.Shli(rAddr, rX, 2)
+		ex.Add(rAddr, rOutRow, rAddr)
+		ex.WriteRegion(rgOut, rOut, rAddr, 0)
+		ex.Add(rSum, rSum, rOut)
+		ex.Addi(rX, rX, 1)
+		ex.Blt(rX, rFN, "pxloop")
+		ex.Addi(rY, rY, 1)
+		ex.Blt(rY, rYEnd, "rowloop")
+
+		ps := worker.PS()
+		ps.Storex(rSum, program.R(7), program.R(8))
+		ps.Ffree()
+		ps.Stop()
+	}
+
+	root := b.Template("root")
+	{
+		pl := root.PL()
+		for i := 0; i < 3; i++ {
+			pl.Load(program.R(1+i), i) // baseIn baseOut n
+		}
+		ps := root.PS()
+		rJoin := program.R(4)
+		rW, rT, rORowsC := program.R(5), program.R(6), program.R(7)
+		rChild, rOy0, rInRow0 := program.R(8), program.R(9), program.R(10)
+		ps.Falloc(rJoin, joiner, T)
+		ps.Movi(rW, 0)
+		ps.Movi(rT, int32(T))
+		ps.Movi(rORowsC, int32(orows))
+		ps.Label("fork")
+		ps.Falloc(rChild, worker, 8)
+		ps.Store(program.R(1), rChild, 0)
+		ps.Store(program.R(2), rChild, 1)
+		ps.Store(program.R(3), rChild, 2)
+		ps.Mul(rOy0, rW, rORowsC)
+		ps.Store(rOy0, rChild, 3)
+		ps.Store(rORowsC, rChild, 4)
+		ps.Srai(rInRow0, rOy0, 2)
+		ps.Store(rInRow0, rChild, 5)
+		ps.Store(rJoin, rChild, 6)
+		ps.Store(rW, rChild, 7)
+		ps.Addi(rW, rW, 1)
+		ps.Blt(rW, rT, "fork")
+		ps.Ffree()
+		ps.Stop()
+	}
+
+	b.Entry(root, baseIn, baseOut, int64(n))
+	// The input segment is padded by 8 bytes so the right-edge lerp's
+	// second read stays in bounds (the reference uses the same padding).
+	seg := int32Segment(img)
+	seg = append(seg, make([]byte, 8)...)
+	b.Segment(baseIn, seg)
+	b.ExpectTokens(1)
+
+	ref := refZoom(img, n, ZoomFactor)
+	var refToken int64
+	for _, v := range ref {
+		refToken += int64(v)
+	}
+	b.Check(func(mr program.MemReader, tokens []int64) error {
+		if len(tokens) != 1 || tokens[0] != refToken {
+			return fmt.Errorf("zoom: checksum %v, want [%d]", tokens, refToken)
+		}
+		for i, want := range ref {
+			got := mr.Read32(baseOut + int64(4*i))
+			if got != int64(want) {
+				return fmt.Errorf("zoom: out[%d] = %d, want %d", i, got, want)
+			}
+		}
+		return nil
+	})
+	return b.Build()
+}
