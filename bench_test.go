@@ -13,6 +13,7 @@ package celldta
 import (
 	"fmt"
 	"io"
+	"sort"
 	"testing"
 
 	"repro/internal/harness"
@@ -50,10 +51,11 @@ func runExperiment(b *testing.B, id string, metrics ...string) {
 }
 
 func metricNames(out *harness.Outcome) []string {
-	var names []string
+	names := make([]string, 0, len(out.Metrics))
 	for k := range out.Metrics {
 		names = append(names, k)
 	}
+	sort.Strings(names) // deterministic failure messages
 	return names
 }
 

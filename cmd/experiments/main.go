@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list]
+//	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list] [-parallel n]
 //
 // With no flags it runs the full paper suite at the paper's operating
-// point (8 SPEs, 150-cycle memory, full problem sizes).
+// point (8 SPEs, 150-cycle memory, full problem sizes). -parallel n
+// fans the selected experiments out over n workers (n < 0 means one per
+// CPU); each experiment then runs in its own isolated context and the
+// output is printed in the usual order once results are in.
 package main
 
 import (
@@ -23,13 +26,14 @@ import (
 
 func main() {
 	var (
-		only    = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		spes    = flag.Int("spes", 8, "number of SPEs")
-		latency = flag.Int("latency", 150, "main-memory latency in cycles")
-		quick   = flag.Bool("quick", false, "shrink problem sizes for a fast pass")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		metrics = flag.Bool("metrics", false, "also print machine-readable metrics")
-		seed    = flag.Uint64("seed", 42, "workload input seed")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		spes     = flag.Int("spes", 8, "number of SPEs")
+		latency  = flag.Int("latency", 150, "main-memory latency in cycles")
+		quick    = flag.Bool("quick", false, "shrink problem sizes for a fast pass")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		metrics  = flag.Bool("metrics", false, "also print machine-readable metrics")
+		seed     = flag.Uint64("seed", 42, "workload input seed")
+		parallel = flag.Int("parallel", 0, "run experiments on n workers (0 = serial shared-cache, <0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -53,18 +57,10 @@ func main() {
 		}
 	}
 
-	ctx := harness.NewContext(harness.Options{
-		SPEs: *spes, Latency: *latency, Quick: *quick, Seed: *seed,
-	})
-	for _, e := range selected {
-		start := time.Now()
+	opt := harness.Options{SPEs: *spes, Latency: *latency, Quick: *quick, Seed: *seed}
+	report := func(e *harness.Experiment, out *harness.Outcome, elapsed time.Duration) {
 		fmt.Printf("==== %s — %s\n", e.ID, e.Title)
 		fmt.Printf("     paper: %s\n\n", e.Paper)
-		out, err := e.Run(ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
-			os.Exit(1)
-		}
 		out.Print(os.Stdout)
 		if *metrics {
 			keys := make([]string, 0, len(out.Metrics))
@@ -76,6 +72,31 @@ func main() {
 				fmt.Printf("metric %s.%s = %.4f\n", e.ID, k, out.Metrics[k])
 			}
 		}
-		fmt.Printf("     (%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Printf("     (%.1fs)\n\n", elapsed.Seconds())
+	}
+
+	if *parallel != 0 {
+		start := time.Now()
+		results := harness.Parallel(opt, selected, *parallel)
+		for _, r := range results {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", r.Experiment.ID, r.Err)
+				os.Exit(1)
+			}
+			report(r.Experiment, r.Outcome, r.Elapsed)
+		}
+		fmt.Printf("==== sweep wall time %.1fs over %d experiments\n", time.Since(start).Seconds(), len(results))
+		return
+	}
+
+	ctx := harness.NewContext(opt)
+	for _, e := range selected {
+		start := time.Now()
+		out, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		report(e, out, time.Since(start))
 	}
 }

@@ -3,6 +3,7 @@ package cell
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/program"
@@ -352,6 +353,44 @@ func TestDeterministicCycles(t *testing.T) {
 	}
 	if a.Agg.Instr != b.Agg.Instr {
 		t.Fatalf("instruction counts differ: %+v vs %+v", a.Agg.Instr, b.Agg.Instr)
+	}
+}
+
+// TestDeterministicStats is the scheduler's determinism regression: two
+// machines built from identical configs must agree on every statistic —
+// cycle counts, per-SPU breakdowns, LSE/MFC/DSE activity, memory and
+// interconnect traffic — not just the headline cycle number. This pins
+// the event-queue scheduler's contract (registration-order tie-breaks,
+// same-cycle re-pass semantics) to observable machine behaviour.
+func TestDeterministicStats(t *testing.T) {
+	progs := map[string]func() *program.Program{
+		"forkjoin": func() *program.Program { return progForkJoin(t, 10) },
+		"dma":      func() *program.Program { return progManualDMA(t) },
+	}
+	for name, build := range progs {
+		t.Run(name, func(t *testing.T) {
+			a := run(t, smallConfig(4), build())
+			b := run(t, smallConfig(4), build())
+			if a.Cycles != b.Cycles {
+				t.Fatalf("cycles differ: %d vs %d", a.Cycles, b.Cycles)
+			}
+			if !reflect.DeepEqual(a.Tokens, b.Tokens) {
+				t.Fatalf("tokens differ: %v vs %v", a.Tokens, b.Tokens)
+			}
+			for what, pair := range map[string][2]any{
+				"spus": {a.SPUs, b.SPUs},
+				"agg":  {a.Agg, b.Agg},
+				"lses": {a.LSEs, b.LSEs},
+				"mfcs": {a.MFCs, b.MFCs},
+				"dses": {a.DSEs, b.DSEs},
+				"mem":  {a.Mem, b.Mem},
+				"net":  {a.Net, b.Net},
+			} {
+				if !reflect.DeepEqual(pair[0], pair[1]) {
+					t.Fatalf("%s stats differ:\n%+v\nvs\n%+v", what, pair[0], pair[1])
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// benchmarkSweep runs the 8-experiment sweep through a runner.
+func benchmarkSweep(b *testing.B, run func(Options, []*Experiment) []RunResult) {
+	exps := sweepExperiments(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range run(quickOpts(), exps) {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkHarnessSerialSweep is the baseline: the same per-experiment
+// isolation as the parallel runner, executed on one goroutine.
+func BenchmarkHarnessSerialSweep(b *testing.B) {
+	benchmarkSweep(b, Serial)
+}
+
+// BenchmarkHarnessParallelSweep exercises the worker-pool runner at
+// runtime.NumCPU() width; compare against BenchmarkHarnessSerialSweep
+// for the wall-clock fan-out gain (≈ min(NumCPU, 8) on a multi-core
+// machine, nothing on a single-core one).
+func BenchmarkHarnessParallelSweep(b *testing.B) {
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+	benchmarkSweep(b, func(opt Options, exps []*Experiment) []RunResult {
+		return Parallel(opt, exps, 0)
+	})
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RunResult is one experiment's outcome from a sweep run.
+type RunResult struct {
+	Experiment *Experiment
+	Outcome    *Outcome
+	Err        error
+	Elapsed    time.Duration
+}
+
+// Parallel executes experiments concurrently on a bounded worker pool
+// and returns results in input order.
+//
+// Each experiment gets its own Context built from opt, so no run cache,
+// program cache, or machine state is shared across goroutines: every
+// simulation remains single-threaded and deterministic, and only the
+// cross-simulation fan-out is concurrent. The price is losing the
+// cross-experiment run cache a shared serial Context provides — worth it
+// whenever more than one core is available, since the big experiments
+// dominate wall time and do not overlap much anyway.
+//
+// workers <= 0 selects runtime.NumCPU(). A panic inside an experiment is
+// contained to its worker and reported as that experiment's Err.
+func Parallel(opt Options, exps []*Experiment, workers int) []RunResult {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	results := make([]RunResult, len(exps))
+	if len(exps) == 0 {
+		return results
+	}
+
+	// Feed experiment indices to the pool; each result lands in its
+	// input slot, so the output order never depends on scheduling.
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = runOne(opt, exps[i])
+			}
+		}()
+	}
+	for i := range exps {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return results
+}
+
+// Serial executes experiments one by one with the same per-experiment
+// isolation as Parallel (fresh Context each), so serial and parallel
+// sweeps are directly comparable run for run.
+func Serial(opt Options, exps []*Experiment) []RunResult {
+	results := make([]RunResult, len(exps))
+	for i, e := range exps {
+		results[i] = runOne(opt, e)
+	}
+	return results
+}
+
+// runOne executes a single experiment in a fresh context, converting
+// panics into errors so one bad experiment cannot take down a sweep.
+func runOne(opt Options, exp *Experiment) (res RunResult) {
+	start := time.Now()
+	res.Experiment = exp
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("experiment %s panicked: %v", exp.ID, r)
+		}
+	}()
+	res.Outcome, res.Err = exp.Run(NewContext(opt))
+	return res
+}

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// sweepIDs is the 8-experiment sweep used by the parallel-harness tests
+// and benchmarks: the paper's figures plus the latency study.
+var sweepIDs = []string{"fig5a", "fig5b", "table5", "fig6", "fig7", "fig8", "fig9", "lat1"}
+
+func sweepExperiments(t testing.TB) []*Experiment {
+	t.Helper()
+	exps := make([]*Experiment, 0, len(sweepIDs))
+	for _, id := range sweepIDs {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		exps = append(exps, e)
+	}
+	return exps
+}
+
+func quickOpts() Options {
+	return Options{SPEs: 8, Latency: 150, Quick: true, Seed: 42}
+}
+
+// renderResults flattens a sweep's outcomes — rendered tables, notes and
+// sorted metrics — into one byte string, so runs can be compared
+// cycle-for-cycle and stat-for-stat.
+func renderResults(t testing.TB, results []RunResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+		}
+		fmt.Fprintf(&buf, "== %s\n", r.Experiment.ID)
+		r.Outcome.Print(&buf)
+		for _, k := range sortedKeys(r.Outcome.Metrics) {
+			fmt.Fprintf(&buf, "%s=%v\n", k, r.Outcome.Metrics[k])
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelMatchesSerial is the harness-level determinism regression:
+// the same sweep through the serial runner and the parallel runner must
+// produce identical tables, notes, metrics and cycle counts.
+func TestParallelMatchesSerial(t *testing.T) {
+	exps := sweepExperiments(t)
+	serial := renderResults(t, Serial(quickOpts(), exps))
+	parallel := renderResults(t, Parallel(quickOpts(), exps, 4))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("serial and parallel sweeps diverge:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestParallelRepeatable runs the parallel sweep twice and asserts
+// cycle-for-cycle identical results.
+func TestParallelRepeatable(t *testing.T) {
+	exps := sweepExperiments(t)
+	a := renderResults(t, Parallel(quickOpts(), exps, 4))
+	b := renderResults(t, Parallel(quickOpts(), exps, 4))
+	if !bytes.Equal(a, b) {
+		t.Fatal("repeated parallel sweeps diverge")
+	}
+}
+
+// TestParallelPreservesOrder checks results land in input order, not
+// completion order.
+func TestParallelPreservesOrder(t *testing.T) {
+	exps := sweepExperiments(t)
+	results := Parallel(quickOpts(), exps, 3)
+	if len(results) != len(exps) {
+		t.Fatalf("got %d results for %d experiments", len(results), len(exps))
+	}
+	for i, r := range results {
+		if r.Experiment != exps[i] {
+			t.Fatalf("result %d is %s, want %s", i, r.Experiment.ID, exps[i].ID)
+		}
+	}
+}
+
+// TestParallelContainsPanic ensures a panicking experiment surfaces as
+// its own error without killing the sweep.
+func TestParallelContainsPanic(t *testing.T) {
+	bad := &Experiment{
+		ID:    "boom",
+		Title: "panics",
+		Run:   func(*Context) (*Outcome, error) { panic("kaboom") },
+	}
+	good, ok := ByID("table2")
+	if !ok {
+		t.Fatal("table2 missing")
+	}
+	results := Parallel(quickOpts(), []*Experiment{bad, good}, 2)
+	if results[0].Err == nil {
+		t.Fatal("panicking experiment reported no error")
+	}
+	if results[1].Err != nil {
+		t.Fatalf("healthy experiment failed: %v", results[1].Err)
+	}
+	if results[1].Outcome == nil {
+		t.Fatal("healthy experiment lost its outcome")
+	}
+}
+
+// TestParallelEmptyAndClamped covers the degenerate inputs.
+func TestParallelEmptyAndClamped(t *testing.T) {
+	if got := Parallel(quickOpts(), nil, 4); len(got) != 0 {
+		t.Fatalf("empty sweep returned %d results", len(got))
+	}
+	// More workers than experiments, and workers <= 0, must both work.
+	exps := sweepExperiments(t)[:2]
+	for _, workers := range []int{0, -1, 64} {
+		results := Parallel(quickOpts(), exps, workers)
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d: %v", workers, r.Err)
+			}
+		}
+	}
+}

@@ -16,14 +16,35 @@ const pageSize = 1 << pageBits
 
 // Sparse is a byte-addressable sparse backing store. Reads of unwritten
 // memory return zeros without allocating pages.
+//
+// A one-entry page cache remembers the last page touched: DMA streams
+// and scalar loops walk memory sequentially, so nearly every access
+// lands on the cached page and skips the map lookup. Pages are never
+// freed, so the cache can never go stale.
 type Sparse struct {
 	size  int64
 	pages map[int64][]byte
+
+	lastPage int64
+	lastBuf  []byte
 }
 
 // NewSparse returns a store of the given size in bytes.
 func NewSparse(size int64) *Sparse {
-	return &Sparse{size: size, pages: make(map[int64][]byte)}
+	return &Sparse{size: size, pages: make(map[int64][]byte), lastPage: -1}
+}
+
+// page returns the backing page and whether it is allocated, consulting
+// the one-entry cache first.
+func (s *Sparse) page(idx int64) ([]byte, bool) {
+	if idx == s.lastPage {
+		return s.lastBuf, true
+	}
+	p, ok := s.pages[idx]
+	if ok {
+		s.lastPage, s.lastBuf = idx, p
+	}
+	return p, ok
 }
 
 // Size returns the addressable size in bytes.
@@ -47,7 +68,7 @@ func (s *Sparse) ReadBytes(addr int64, buf []byte) error {
 		if n > len(buf)-done {
 			n = len(buf) - done
 		}
-		if p, ok := s.pages[page]; ok {
+		if p, ok := s.page(page); ok {
 			copy(buf[done:done+n], p[off:off+n])
 		} else {
 			for i := done; i < done+n; i++ {
@@ -71,10 +92,11 @@ func (s *Sparse) WriteBytes(addr int64, data []byte) error {
 		if n > len(data)-done {
 			n = len(data) - done
 		}
-		p, ok := s.pages[page]
+		p, ok := s.page(page)
 		if !ok {
 			p = make([]byte, pageSize)
 			s.pages[page] = p
+			s.lastPage, s.lastBuf = page, p
 		}
 		copy(p[off:off+n], data[done:done+n])
 		done += n

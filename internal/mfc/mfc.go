@@ -68,15 +68,33 @@ type Stats struct {
 	MaxQueueDepth int
 }
 
+// slotBits sizes the slot field of an encoded command id: the low bits
+// select the slab slot, the high bits carry a monotonically increasing
+// generation so stale ids from freed slots are detected instead of
+// silently hitting a recycled command.
+const (
+	slotBits = 20
+	slotMask = (1 << slotBits) - 1
+)
+
 type command struct {
-	id   int64
+	id   int64 // encoded generation<<slotBits | slot; 0 marks a free slot
 	lsa  int64
 	ea   int64
 	size int64
 	tag  int64
 	dir  Direction
 
+	inflight  bool  // launched and awaiting data/ack
 	remaining int64 // bytes not yet transferred
+}
+
+// tagEntry counts outstanding commands in one tag group. Live tag groups
+// are few (bounded by thread frames), so a dense slice with linear scan
+// beats a map on the per-command hot path.
+type tagEntry struct {
+	tag int64
+	n   int32
 }
 
 type timedEvent struct {
@@ -110,14 +128,19 @@ type Engine struct {
 	// Staging channels written by the SPU.
 	chLSA, chEA, chSize, chTag int64
 
-	queue    []*command
-	headBusy bool // head command is being processed (latency or streaming)
-	inflight map[int64]*command
-	byTag    map[int64]int
-	events   eventHeap
-	nextID   int64
-	seq      int64
-	stats    Stats
+	// Commands live in a slab indexed by slot with a free-list; the
+	// queue and all in-flight references hold slots, and noc messages
+	// carry the generation-encoded id (see slotBits).
+	cmds      []command
+	free      []int32
+	queue     []int32
+	headBusy  bool // head command is being processed (latency or streaming)
+	inflightN int  // commands launched and awaiting data/ack
+	tags      []tagEntry
+	events    eventHeap
+	nextGen   int64
+	seq       int64
+	stats     Stats
 
 	// OnTagIdle is called when a tag group drains to zero outstanding
 	// commands; the machine wires it to the LSE.
@@ -133,14 +156,12 @@ func New(cfg Config, id, memID int, net *noc.Network, store *ls.LocalStore) *Eng
 		panic("mfc: non-positive configuration")
 	}
 	return &Engine{
-		cfg:      cfg,
-		id:       id,
-		memID:    memID,
-		net:      net,
-		store:    store,
-		inflight: make(map[int64]*command),
-		byTag:    make(map[int64]int),
-		Fault:    func(err error) { panic(err) },
+		cfg:   cfg,
+		id:    id,
+		memID: memID,
+		net:   net,
+		store: store,
+		Fault: func(err error) { panic(err) },
 	}
 }
 
@@ -167,6 +188,75 @@ func (e *Engine) WriteChannel(ch Channel, v int64) {
 	}
 }
 
+// alloc takes a slot from the free-list (or grows the slab) and assigns
+// it a fresh generation-encoded id.
+func (e *Engine) alloc() int32 {
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.cmds = append(e.cmds, command{})
+		slot = int32(len(e.cmds) - 1)
+		if slot > slotMask {
+			panic(fmt.Sprintf("mfc%d: command slab overflow", e.id))
+		}
+	}
+	e.nextGen++
+	e.cmds[slot] = command{id: e.nextGen<<slotBits | int64(slot)}
+	return slot
+}
+
+// release returns a slot to the free-list.
+func (e *Engine) release(slot int32) {
+	e.cmds[slot] = command{}
+	e.free = append(e.free, slot)
+}
+
+// lookup resolves an encoded id to its launched command, or nil when the
+// id is stale, unknown, or names a command that is not in flight.
+func (e *Engine) lookup(id int64) (*command, int32) {
+	slot := int32(id & slotMask)
+	if int(slot) >= len(e.cmds) {
+		return nil, 0
+	}
+	cmd := &e.cmds[slot]
+	if cmd.id != id || !cmd.inflight {
+		return nil, 0
+	}
+	return cmd, slot
+}
+
+// tagInc bumps a tag group's outstanding count.
+func (e *Engine) tagInc(tag int64) {
+	for k := range e.tags {
+		if e.tags[k].tag == tag {
+			e.tags[k].n++
+			return
+		}
+	}
+	e.tags = append(e.tags, tagEntry{tag: tag, n: 1})
+}
+
+// tagDec drops a tag group's outstanding count, reporting whether the
+// group drained to zero; ok is false on underflow (unknown tag).
+func (e *Engine) tagDec(tag int64) (drained, ok bool) {
+	for k := range e.tags {
+		if e.tags[k].tag != tag {
+			continue
+		}
+		e.tags[k].n--
+		if e.tags[k].n > 0 {
+			return false, true
+		}
+		last := len(e.tags) - 1
+		e.tags[k] = e.tags[last]
+		e.tags = e.tags[:last]
+		return true, true
+	}
+	return false, false
+}
+
 // Enqueue pushes a command built from the staged channels. It returns
 // false when the command queue is full (the SPU stalls and retries).
 func (e *Engine) Enqueue(now sim.Cycle, dir Direction) bool {
@@ -178,16 +268,16 @@ func (e *Engine) Enqueue(now sim.Cycle, dir Direction) bool {
 		e.Fault(fmt.Errorf("mfc%d: %s command with size %d", e.id, dir, e.chSize))
 		return true
 	}
-	e.nextID++
-	cmd := &command{
-		id: e.nextID, lsa: e.chLSA, ea: e.chEA, size: e.chSize, tag: e.chTag,
-		dir: dir, remaining: e.chSize,
-	}
-	e.queue = append(e.queue, cmd)
+	slot := e.alloc()
+	cmd := &e.cmds[slot]
+	cmd.lsa, cmd.ea, cmd.size, cmd.tag = e.chLSA, e.chEA, e.chSize, e.chTag
+	cmd.dir = dir
+	cmd.remaining = e.chSize
+	e.queue = append(e.queue, slot)
 	if len(e.queue) > e.stats.MaxQueueDepth {
 		e.stats.MaxQueueDepth = len(e.queue)
 	}
-	e.byTag[cmd.tag]++
+	e.tagInc(cmd.tag)
 	if e.handle != nil {
 		e.handle.Wake(now + 1)
 	}
@@ -196,7 +286,14 @@ func (e *Engine) Enqueue(now sim.Cycle, dir Direction) bool {
 
 // Outstanding returns the number of incomplete commands in a tag group
 // (the MFCSTAT instruction).
-func (e *Engine) Outstanding(tag int64) int { return e.byTag[tag] }
+func (e *Engine) Outstanding(tag int64) int {
+	for k := range e.tags {
+		if e.tags[k].tag == tag {
+			return int(e.tags[k].n)
+		}
+	}
+	return 0
+}
 
 // QueueDepth returns the number of commands waiting in the queue.
 func (e *Engine) QueueDepth() int { return len(e.queue) }
@@ -205,7 +302,7 @@ func (e *Engine) QueueDepth() int { return len(e.queue) }
 // flight (used by the machine to drain write-back PUTs before ending a
 // run).
 func (e *Engine) Busy() bool {
-	return len(e.queue) > 0 || len(e.inflight) > 0 || len(e.events) > 0
+	return len(e.queue) > 0 || e.inflightN > 0 || len(e.events) > 0
 }
 
 func (e *Engine) schedule(at sim.Cycle, fn func(now sim.Cycle)) {
@@ -224,8 +321,8 @@ func (e *Engine) Tick(now sim.Cycle) sim.Cycle {
 	}
 	if !e.headBusy && len(e.queue) > 0 {
 		e.headBusy = true
-		cmd := e.queue[0]
-		e.schedule(now+sim.Cycle(e.cfg.CmdLatency), func(t sim.Cycle) { e.launch(t, cmd) })
+		slot := e.queue[0]
+		e.schedule(now+sim.Cycle(e.cfg.CmdLatency), func(t sim.Cycle) { e.launch(t, slot) })
 	}
 	next := sim.Never
 	if len(e.events) > 0 {
@@ -236,11 +333,13 @@ func (e *Engine) Tick(now sim.Cycle) sim.Cycle {
 
 // launch issues the memory traffic for the head command after its
 // command latency has elapsed.
-func (e *Engine) launch(now sim.Cycle, cmd *command) {
+func (e *Engine) launch(now sim.Cycle, slot int32) {
+	cmd := &e.cmds[slot]
 	switch cmd.dir {
 	case Get:
 		e.stats.Gets++
-		e.inflight[cmd.id] = cmd
+		cmd.inflight = true
+		e.inflightN++
 		e.net.Send(now, noc.Message{
 			Src: e.id, Dst: e.memID, Kind: noc.KindMemBlockRead,
 			A: cmd.ea, B: cmd.size, C: cmd.id,
@@ -248,7 +347,8 @@ func (e *Engine) launch(now sim.Cycle, cmd *command) {
 		e.popHead(now)
 	case Put:
 		e.stats.Puts++
-		e.inflight[cmd.id] = cmd
+		cmd.inflight = true
+		e.inflightN++
 		// Stream packets, pacing on the LS read port.
 		off := int64(0)
 		t := now
@@ -293,8 +393,8 @@ func (e *Engine) popHead(now sim.Cycle) {
 func (e *Engine) Deliver(now sim.Cycle, msg noc.Message) {
 	switch msg.Kind {
 	case noc.KindMemBlockData:
-		cmd, ok := e.inflight[msg.C]
-		if !ok {
+		cmd, slot := e.lookup(msg.C)
+		if cmd == nil {
 			e.Fault(fmt.Errorf("mfc%d: data for unknown command %d", e.id, msg.C))
 			return
 		}
@@ -306,16 +406,16 @@ func (e *Engine) Deliver(now sim.Cycle, msg noc.Message) {
 		e.stats.BytesIn += int64(len(msg.Data))
 		cmd.remaining -= int64(len(msg.Data))
 		if cmd.remaining <= 0 {
-			e.schedule(done, func(t sim.Cycle) { e.complete(t, cmd) })
+			e.schedule(done, func(t sim.Cycle) { e.complete(t, slot) })
 		}
 	case noc.KindMemBlockAck:
-		cmd, ok := e.inflight[msg.C]
-		if !ok {
+		cmd, slot := e.lookup(msg.C)
+		if cmd == nil {
 			e.Fault(fmt.Errorf("mfc%d: ack for unknown command %d", e.id, msg.C))
 			return
 		}
 		e.stats.BytesOut += cmd.size
-		e.complete(now, cmd)
+		e.complete(now, slot)
 	default:
 		e.Fault(fmt.Errorf("mfc%d received unexpected %s", e.id, msg))
 	}
@@ -324,23 +424,24 @@ func (e *Engine) Deliver(now sim.Cycle, msg noc.Message) {
 	}
 }
 
-func (e *Engine) complete(now sim.Cycle, cmd *command) {
-	delete(e.inflight, cmd.id)
-	e.byTag[cmd.tag]--
-	if e.byTag[cmd.tag] < 0 {
-		e.Fault(fmt.Errorf("mfc%d: tag %d underflow", e.id, cmd.tag))
+func (e *Engine) complete(now sim.Cycle, slot int32) {
+	tag := e.cmds[slot].tag
+	e.release(slot)
+	e.inflightN--
+	drained, ok := e.tagDec(tag)
+	if !ok {
+		e.Fault(fmt.Errorf("mfc%d: tag %d underflow", e.id, tag))
 		return
 	}
-	if e.byTag[cmd.tag] == 0 {
-		delete(e.byTag, cmd.tag)
+	if drained {
 		e.stats.TagWaits++
 		if e.OnTagIdle != nil {
-			e.OnTagIdle(now, cmd.tag)
+			e.OnTagIdle(now, tag)
 		}
 	}
 }
 
 // DumpState implements sim.StateDumper.
 func (e *Engine) DumpState() string {
-	return fmt.Sprintf("queue=%d inflight=%d events=%d", len(e.queue), len(e.inflight), len(e.events))
+	return fmt.Sprintf("queue=%d inflight=%d events=%d", len(e.queue), e.inflightN, len(e.events))
 }

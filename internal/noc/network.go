@@ -63,10 +63,19 @@ func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; 
 // arbitrates the queued messages onto buses in FIFO order and calls the
 // destination Endpoint when the transfer completes.
 type Network struct {
-	cfg     Config
-	handle  *sim.Handle
-	eps     map[int]Endpoint
+	cfg    Config
+	handle *sim.Handle
+	// eps is a dense slice indexed by endpoint id: the machine allocates
+	// small consecutive ids, and endpoint lookup is on the per-message
+	// hot path.
+	eps []Endpoint
+	// queue is a FIFO with an explicit head cursor: arbitration consumes
+	// from qHead instead of rebuilding the slice every tick. Arrivals
+	// are non-decreasing and granting never frees a bus, so the first
+	// blocked message blocks every later one and head-order consumption
+	// is exactly the old full-scan behaviour.
 	queue   []pending
+	qHead   int
 	busFree []sim.Cycle
 	dels    deliveryHeap
 	seq     int64
@@ -81,7 +90,6 @@ func New(cfg Config) *Network {
 	}
 	return &Network{
 		cfg:     cfg,
-		eps:     make(map[int]Endpoint),
 		busFree: make([]sim.Cycle, cfg.Buses),
 	}
 }
@@ -94,10 +102,27 @@ func (n *Network) Attach(h *sim.Handle) { n.handle = h }
 
 // Register binds an endpoint id to a receiver.
 func (n *Network) Register(id int, ep Endpoint) {
-	if _, dup := n.eps[id]; dup {
+	if id < 0 {
+		panic(fmt.Sprintf("noc: negative endpoint %d", id))
+	}
+	if ep == nil {
+		panic(fmt.Sprintf("noc: nil endpoint %d", id))
+	}
+	for id >= len(n.eps) {
+		n.eps = append(n.eps, nil)
+	}
+	if n.eps[id] != nil {
 		panic(fmt.Sprintf("noc: duplicate endpoint %d", id))
 	}
 	n.eps[id] = ep
+}
+
+// endpoint resolves an id, or nil when unregistered.
+func (n *Network) endpoint(id int) Endpoint {
+	if id < 0 || id >= len(n.eps) {
+		return nil
+	}
+	return n.eps[id]
 }
 
 // Stats returns a copy of the accumulated statistics.
@@ -106,13 +131,13 @@ func (n *Network) Stats() Stats { return n.stats }
 // Send queues a message for transfer. The message starts arbitration on
 // the next cycle (a sender cannot inject and transfer in the same cycle).
 func (n *Network) Send(now sim.Cycle, m Message) {
-	if _, ok := n.eps[m.Dst]; !ok {
+	if n.endpoint(m.Dst) == nil {
 		panic(fmt.Sprintf("noc: send to unregistered endpoint: %s", m))
 	}
 	n.seq++
 	n.queue = append(n.queue, pending{msg: m, arrival: now, seq: n.seq})
-	if len(n.queue) > n.stats.MaxQueue {
-		n.stats.MaxQueue = len(n.queue)
+	if q := len(n.queue) - n.qHead; q > n.stats.MaxQueue {
+		n.stats.MaxQueue = q
 	}
 	if n.handle != nil {
 		n.handle.Wake(now + 1)
@@ -123,12 +148,13 @@ func (n *Network) Send(now sim.Cycle, m Message) {
 func (n *Network) Tick(now sim.Cycle) sim.Cycle {
 	// Grant buses to queued messages in FIFO order. A message may start
 	// once it has been queued for at least one cycle and some bus is
-	// free.
-	remaining := n.queue[:0]
-	for _, p := range n.queue {
+	// free. Arrivals are non-decreasing and a grant never frees a bus,
+	// so the first message that cannot start blocks the rest: consume
+	// from the head and stop at the first blocked entry.
+	for n.qHead < len(n.queue) {
+		p := &n.queue[n.qHead]
 		if p.arrival >= now {
-			remaining = append(remaining, p)
-			continue
+			break
 		}
 		// Earliest-free bus; deterministic tiebreak by index.
 		best := -1
@@ -138,8 +164,7 @@ func (n *Network) Tick(now sim.Cycle) sim.Cycle {
 			}
 		}
 		if best == -1 {
-			remaining = append(remaining, p)
-			continue
+			break
 		}
 		occ := sim.Cycle((p.msg.WireSize() + n.cfg.BytesPerCyc - 1) / n.cfg.BytesPerCyc)
 		if occ < 1 {
@@ -150,8 +175,19 @@ func (n *Network) Tick(now sim.Cycle) sim.Cycle {
 		n.stats.Bytes += int64(p.msg.WireSize())
 		n.seq++
 		heap.Push(&n.dels, delivery{msg: p.msg, at: now + occ + sim.Cycle(n.cfg.HopLatency), seq: p.seq})
+		n.queue[n.qHead] = pending{} // release Data for the GC
+		n.qHead++
 	}
-	n.queue = remaining
+	if n.qHead == len(n.queue) {
+		n.queue = n.queue[:0]
+		n.qHead = 0
+	} else if n.qHead > 256 && n.qHead*2 >= len(n.queue) {
+		// Compact once the dead prefix dominates so the slice does not
+		// grow without bound on a persistently backlogged network.
+		kept := copy(n.queue, n.queue[n.qHead:])
+		n.queue = n.queue[:kept]
+		n.qHead = 0
+	}
 
 	// Complete due deliveries.
 	for len(n.dels) > 0 && n.dels[0].at <= now {
@@ -165,7 +201,7 @@ func (n *Network) Tick(now sim.Cycle) sim.Cycle {
 
 func (n *Network) nextEvent(now sim.Cycle) sim.Cycle {
 	next := sim.Never
-	if len(n.queue) > 0 {
+	if n.qHead < len(n.queue) {
 		// Either waiting for a bus or for the injection delay.
 		earliest := now + 1
 		busAt := sim.Never
@@ -189,5 +225,5 @@ func (n *Network) nextEvent(now sim.Cycle) sim.Cycle {
 
 // DumpState implements sim.StateDumper.
 func (n *Network) DumpState() string {
-	return fmt.Sprintf("queued=%d in-flight=%d", len(n.queue), len(n.dels))
+	return fmt.Sprintf("queued=%d in-flight=%d", len(n.queue)-n.qHead, len(n.dels))
 }

@@ -2,21 +2,40 @@
 // which the CellDTA machine model is built.
 //
 // The kernel is a hybrid between a plain cycle loop and a discrete-event
-// simulator: every registered Component is ticked in registration order,
-// but a component that has nothing to do can report the next cycle at
-// which it wants to run (or Never) and the engine skips dead time by
-// advancing the clock directly to the earliest pending wake-up. Components
-// that push work into one another (an SPU handing a packet to the bus, the
-// bus delivering to memory, ...) wake the consumer through its Handle.
+// simulator: every due Component is ticked in registration order, but a
+// component that has nothing to do can report the next cycle at which it
+// wants to run (or Never) and the engine skips dead time by advancing the
+// clock directly to the earliest pending wake-up. Components that push
+// work into one another (an SPU handing a packet to the bus, the bus
+// delivering to memory, ...) wake the consumer through its Handle.
+//
+// Scheduling is an indexed min-heap keyed by (wake cycle, registration
+// index): finding the next event is O(1), Handle.Wake is an O(log N)
+// decrease-key, and each event-loop iteration visits only the components
+// that are actually due instead of sweeping every registered component.
+// With N components of which k are due, the per-event cost is O(k log N)
+// rather than O(N). Two fast paths keep dense phases — every component
+// due every cycle — near linear-scan speed: Ticks that ask to re-run at
+// one shared upcoming cycle bypass the heap into a uniform-cycle bucket
+// that becomes the next pass wholesale, and an all-due heap drain
+// empties the heap in one sweep instead of popping entry by entry.
 //
 // Determinism: the engine has no goroutines, no maps in scheduling
 // decisions and no wall-clock inputs. Identical configuration and inputs
-// produce identical cycle-by-cycle behaviour.
+// produce identical cycle-by-cycle behaviour. The deterministic contract
+// is unchanged from the linear-scan scheduler it replaced:
+//
+//   - components due on the same cycle tick in registration order;
+//   - a wake posted during a pass for the current cycle runs the target
+//     within the same pass if it has not been ticked yet on this cycle,
+//     and on an extra pass over the same cycle otherwise;
+//   - time never rewinds: wakes in the past clamp to the current cycle.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 )
 
@@ -50,30 +69,82 @@ type StateDumper interface {
 // Engine.Register.
 type Handle struct {
 	e   *Engine
-	idx int
+	idx int32
 }
 
 // Wake schedules the component to be ticked no later than cycle at. A
 // wake for the current cycle runs the component within the same cycle if
-// it has not been ticked yet in this sweep, and on the next engine pass
+// it has not been ticked yet in this pass, and on the next engine pass
 // over the same cycle otherwise; the engine never rewinds time.
 func (h *Handle) Wake(at Cycle) {
 	if h == nil || h.e == nil {
 		return
 	}
-	if at < h.e.now {
-		at = h.e.now
+	h.e.wake(h.idx, at)
+}
+
+// notQueued marks a component that is not in the heap.
+const notQueued int32 = -1
+
+// entry is one scheduled component in the heap. The wake cycle is stored
+// inline so comparisons stay within the heap's backing array.
+type entry struct {
+	at  Cycle
+	idx int32
+}
+
+// before orders entries by (cycle, registration index); the index
+// tie-break is what makes same-cycle ticks follow registration order.
+func (a entry) before(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if at < h.e.next[h.idx] {
-		h.e.next[h.idx] = at
-	}
+	return a.idx < b.idx
 }
 
 // Engine drives a set of components through simulated time.
 type Engine struct {
 	comps []Component
-	next  []Cycle
-	now   Cycle
+	// heap is an indexed binary min-heap of scheduled components; pos[i]
+	// is component i's position in it (notQueued when absent, e.g. while
+	// sleeping or while waiting in the current pass list).
+	heap []entry
+	pos  []int32
+	now  Cycle
+
+	// nextList is the uniform-cycle bucket: components whose Tick asked
+	// to re-run at the same upcoming cycle (nextAt — claimed by the
+	// first re-tick request while the bucket is empty), in tick order.
+	// They bypass the heap entirely — in the dense steady state (and
+	// under synchronized strides) the bucket simply becomes the next
+	// pass by a slice swap. Membership is
+	// epoch-based: component i is in the bucket iff inNextSeq[i] ==
+	// bucketSeq, so consuming the whole bucket is a single bucketSeq
+	// increment instead of a per-entry flag sweep. A wake that needs an
+	// earlier cycle tombstones the bucket entry (inNextSeq[i] zeroed,
+	// slot left behind) and reroutes through the heap; nextLive counts
+	// non-tombstoned entries and nextSorted tracks whether the bucket is
+	// still in ascending registration order.
+	nextList   []int32
+	inNextSeq  []uint64
+	bucketSeq  uint64
+	nextAt     Cycle
+	nextLive   int
+	nextSorted bool
+
+	// Per-cycle pass state. passList holds the components due on the
+	// current cycle in ascending registration order; passCursor walks it.
+	// A wake for the current cycle targeting a component later in
+	// registration order than the one being ticked is spliced into
+	// passList so it still runs within this pass (the linear-scan sweep
+	// did the same by construction). The not-yet-ticked tail
+	// passList[passCursor+1:] is always sorted, so pass membership is a
+	// binary search rather than a per-tick flag update.
+	passList   []int32
+	passCursor int
+	ticking    int32 // component currently inside Tick, notQueued outside
+	selfWake   Cycle // earliest self-wake posted during the current Tick
+	running    bool  // inside a pass (passList/ticking are live)
 
 	stopped bool
 	stopAt  Cycle
@@ -81,22 +152,26 @@ type Engine struct {
 
 // NewEngine returns an empty engine at cycle 0.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{ticking: notQueued, bucketSeq: 1, nextSorted: true}
 }
 
 // Register adds a component to the engine and returns its wake handle.
 // Components are ticked in registration order within a cycle, which is
-// part of the deterministic contract.
+// part of the deterministic contract. The new component is scheduled for
+// the current cycle.
 func (e *Engine) Register(c Component) *Handle {
+	idx := int32(len(e.comps))
 	e.comps = append(e.comps, c)
-	e.next = append(e.next, Cycle(0))
-	return &Handle{e: e, idx: len(e.comps) - 1}
+	e.pos = append(e.pos, notQueued)
+	e.inNextSeq = append(e.inNextSeq, 0)
+	e.schedule(idx, e.now)
+	return &Handle{e: e, idx: idx}
 }
 
 // Now reports the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
-// Stop requests that Run return at the end of the current sweep. It is
+// Stop requests that Run return at the end of the current pass. It is
 // typically called by the component that detects overall completion (the
 // PPE mailbox in the CellDTA machine).
 func (e *Engine) Stop() {
@@ -142,12 +217,12 @@ func (e *ErrLimit) Error() string {
 // limit. It returns the cycle at which the simulation stopped.
 func (e *Engine) Run(maxCycles Cycle) (Cycle, error) {
 	for !e.stopped {
-		// Find the earliest cycle at which any component wants to run.
 		min := Never
-		for _, n := range e.next {
-			if n < min {
-				min = n
-			}
+		if e.nextLive > 0 {
+			min = e.nextAt
+		}
+		if len(e.heap) > 0 && e.heap[0].at < min {
+			min = e.heap[0].at
 		}
 		if min == Never {
 			return e.now, &ErrDeadlock{At: e.now, Dumps: e.dumpAll()}
@@ -158,31 +233,332 @@ func (e *Engine) Run(maxCycles Cycle) (Cycle, error) {
 		if maxCycles > 0 && e.now >= maxCycles {
 			return e.now, &ErrLimit{Limit: maxCycles}
 		}
-		// Tick every due component in registration order. A wake posted
-		// during the sweep for the current cycle is honoured within the
-		// sweep for components that have not run yet, and by an extra
-		// pass over the same cycle otherwise (see Handle.Wake).
-		for i, c := range e.comps {
-			if e.next[i] > e.now {
+		e.runPass()
+	}
+	return e.stopAt, nil
+}
+
+// runPass ticks every component due on cycle e.now in registration
+// order. Wakes posted during the pass for the current cycle join the
+// pass when they target a component that has not been ticked yet on this
+// cycle, and otherwise land in the heap at e.now so the next Run
+// iteration makes an extra pass over the same cycle.
+func (e *Engine) runPass() {
+	e.drainDue()
+	e.running = true
+	for e.passCursor = 0; e.passCursor < len(e.passList); e.passCursor++ {
+		i := e.passList[e.passCursor]
+		e.ticking = i
+		e.selfWake = Never
+		nxt := e.comps[i].Tick(e.now)
+		if e.selfWake < nxt {
+			nxt = e.selfWake
+		}
+		e.ticking = notQueued
+		if nxt <= e.now {
+			nxt = e.now + 1
+		}
+		if nxt != Never && (e.nextLive == 0 || nxt == e.nextAt) {
+			// Bucket: an empty bucket is claimed by the first re-tick
+			// request of the pass, and components asking for the same
+			// cycle pile in behind it. Dense phases (everything returns
+			// now+1) and synchronized strides (everything returns
+			// now+k) both bypass the heap entirely this way.
+			if e.inNextSeq[i] != e.bucketSeq {
+				e.inNextSeq[i] = e.bucketSeq
+				if n := len(e.nextList); n > 0 && e.nextList[n-1] > i {
+					e.nextSorted = false
+				}
+				e.nextList = append(e.nextList, i)
+				e.nextLive++
+				e.nextAt = nxt
+			}
+		} else if nxt != Never {
+			e.schedule(i, nxt)
+		}
+		if e.stopped {
+			// Requeue the not-yet-ticked remainder so a Resume + Run
+			// picks them up on a fresh pass over this cycle.
+			for _, j := range e.passList[e.passCursor+1:] {
+				e.schedule(j, e.now)
+			}
+			break
+		}
+	}
+	e.running = false
+	e.passCursor = 0
+	e.passList = e.passList[:0]
+}
+
+// drainDue collects every component scheduled for e.now (or earlier — a
+// component registered mid-run can carry an older cycle) into passList
+// in ascending registration order, consuming the next-cycle bucket
+// and/or the due prefix of the heap.
+func (e *Engine) drainDue() {
+	sorted := true
+	prev := int32(-1)
+	heapDue := len(e.heap) > 0 && e.heap[0].at <= e.now
+	if e.nextLive > 0 && e.nextAt <= e.now {
+		if !heapDue && e.nextSorted && e.nextLive == len(e.nextList) {
+			// Steady state: the bucket has no tombstones or stale
+			// entries and is already sorted — it IS the pass. Swapping
+			// the slices and bumping the epoch consumes it in O(1).
+			e.passList, e.nextList = e.nextList, e.passList[:0]
+			e.bucketSeq++
+			e.nextLive = 0
+			return
+		}
+		// Promote the bucket entry by entry, filtering tombstones and
+		// entries left over from older bucket generations.
+		for _, i := range e.nextList {
+			if e.inNextSeq[i] != e.bucketSeq {
 				continue
 			}
-			// Clear the slot before ticking so that wakes posted during
-			// the tick (including self-wakes) merge with the returned
-			// next-run time via min().
-			e.next[i] = Never
-			nxt := c.Tick(e.now)
-			if nxt < e.next[i] {
-				e.next[i] = nxt
+			e.inNextSeq[i] = 0
+			e.passList = append(e.passList, i)
+			if i < prev {
+				sorted = false
 			}
-			if e.next[i] <= e.now {
-				e.next[i] = e.now + 1
-			}
-			if e.stopped {
+			prev = i
+		}
+		e.nextList = e.nextList[:0]
+		e.nextLive = 0
+		e.nextSorted = true
+	} else if len(e.nextList) > 0 && e.nextLive == 0 {
+		// Only tombstones left: discard them so the bucket can restart.
+		e.nextList = e.nextList[:0]
+		e.nextSorted = true
+	}
+
+	if heapDue {
+		// Dense fast path: when every heap entry is due, empty the heap
+		// wholesale and sort, instead of paying an O(log N) sift per
+		// pop. The scan early exits on the first non-due entry, so
+		// sparse phases lose almost nothing to it.
+		h := e.heap
+		all := true
+		for k := range h {
+			if h[k].at > e.now {
+				all = false
 				break
 			}
 		}
+		if all {
+			for _, en := range h {
+				e.pos[en.idx] = notQueued
+				e.passList = append(e.passList, en.idx)
+				if en.idx < prev {
+					sorted = false
+				}
+				prev = en.idx
+			}
+			e.heap = h[:0]
+		} else {
+			for len(e.heap) > 0 && e.heap[0].at <= e.now {
+				i := e.popMin()
+				e.passList = append(e.passList, i)
+				if i < prev {
+					sorted = false
+				}
+				prev = i
+			}
+		}
 	}
-	return e.stopAt, nil
+	if !sorted {
+		if len(e.passList) <= 32 {
+			insertionSort(e.passList)
+		} else {
+			slices.Sort(e.passList)
+		}
+	}
+}
+
+// insertionSort sorts small index slices; heap level order is already
+// mostly ascending, which this exploits.
+func insertionSort(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// wake implements Handle.Wake for component i.
+func (e *Engine) wake(i int32, at Cycle) {
+	if at < e.now {
+		at = e.now // never rewind time
+	}
+	if e.inNextSeq[i] == e.bucketSeq {
+		if at >= e.nextAt {
+			return // already scheduled at least that early
+		}
+		// The wake beats the bucket slot: tombstone it and reschedule
+		// through the normal paths below.
+		e.inNextSeq[i] = 0
+		e.nextLive--
+	}
+	if !e.running {
+		e.schedule(i, at)
+		return
+	}
+	switch {
+	case i == e.ticking:
+		// A self-wake during Tick merges with the returned next-run time
+		// (and a same-cycle self-wake clamps to now+1, as the linear
+		// sweep did by clearing the slot before ticking).
+		if at < e.selfWake {
+			e.selfWake = at
+		}
+	case e.pendingInPass(i):
+		// Already due later in this pass at e.now; at >= e.now cannot
+		// improve on that.
+	case at == e.now && i > e.ticking:
+		// Not ticked yet on this cycle: joins the current pass in
+		// registration order.
+		e.removeFromHeap(i)
+		e.insertIntoPass(i)
+	default:
+		// Already ticked on this cycle (i < ticking) or a future wake:
+		// decrease-key in the heap; a wake at e.now triggers an extra
+		// pass over the same cycle on the next Run iteration.
+		e.schedule(i, at)
+	}
+}
+
+// pendingLowerBound returns the position of the first entry >= i in the
+// sorted pending tail passList[passCursor+1:] (binary search).
+func (e *Engine) pendingLowerBound(i int32) int {
+	lo, hi := e.passCursor+1, len(e.passList)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.passList[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pendingInPass reports whether component i is still waiting to be
+// ticked in the current pass.
+func (e *Engine) pendingInPass(i int32) bool {
+	p := e.pendingLowerBound(i)
+	return p < len(e.passList) && e.passList[p] == i
+}
+
+// insertIntoPass splices component i into the pending portion of the
+// current pass list, keeping it sorted by registration index. The
+// pending tail is typically short, and i > passList[passCursor] by
+// construction.
+func (e *Engine) insertIntoPass(i int32) {
+	p := e.pendingLowerBound(i)
+	e.passList = append(e.passList, 0)
+	copy(e.passList[p+1:], e.passList[p:])
+	e.passList[p] = i
+}
+
+// schedule sets component i to run no later than at, pushing it into the
+// heap or decreasing its key. A later wake than the scheduled one is a
+// no-op (wakes merge via min).
+func (e *Engine) schedule(i int32, at Cycle) {
+	if p := e.pos[i]; p != notQueued {
+		if at < e.heap[p].at {
+			e.heap[p].at = at
+			e.siftUp(p)
+		}
+		return
+	}
+	p := int32(len(e.heap))
+	e.heap = append(e.heap, entry{at: at, idx: i})
+	e.pos[i] = p
+	e.siftUp(p)
+}
+
+func (e *Engine) siftUp(p int32) {
+	h := e.heap
+	en := h[p]
+	for p > 0 {
+		parent := (p - 1) / 2
+		if !en.before(h[parent]) {
+			break
+		}
+		h[p] = h[parent]
+		e.pos[h[p].idx] = p
+		p = parent
+	}
+	h[p] = en
+	e.pos[en.idx] = p
+}
+
+func (e *Engine) siftDown(p int32) {
+	h := e.heap
+	n := int32(len(h))
+	en := h[p]
+	for {
+		child := 2*p + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h[r].before(h[child]) {
+			child = r
+		}
+		if !h[child].before(en) {
+			break
+		}
+		h[p] = h[child]
+		e.pos[h[p].idx] = p
+		p = child
+	}
+	h[p] = en
+	e.pos[en.idx] = p
+}
+
+// popMin removes and returns the component with the earliest (at, index)
+// key.
+func (e *Engine) popMin() int32 {
+	h := e.heap
+	top := h[0].idx
+	e.pos[top] = notQueued
+	last := len(h) - 1
+	if last > 0 {
+		h[0] = h[last]
+		e.pos[h[0].idx] = 0
+	}
+	e.heap = h[:last]
+	if last > 1 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+// removeFromHeap detaches component i if it is queued (used when a
+// same-cycle wake moves it into the current pass list instead).
+func (e *Engine) removeFromHeap(i int32) {
+	p := e.pos[i]
+	if p == notQueued {
+		return
+	}
+	h := e.heap
+	e.pos[i] = notQueued
+	last := int32(len(h) - 1)
+	e.heap = h[:last]
+	if p == last {
+		return
+	}
+	moved := h[last]
+	h[p] = moved
+	e.pos[moved.idx] = p
+	// The moved entry may need to go either way.
+	if p > 0 && moved.before(h[(p-1)/2]) {
+		e.siftUp(p)
+	} else {
+		e.siftDown(p)
+	}
 }
 
 // dumpAll collects state dumps from all components that provide them.
