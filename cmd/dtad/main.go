@@ -1,0 +1,69 @@
+// Command dtad serves the CellDTA experiment harness as a long-running
+// daemon: an HTTP/JSON API over a job queue, a bounded simulation
+// worker pool, and a content-addressed LRU result cache keyed by
+// deterministic run keys (see internal/service and SERVICE.md).
+//
+// Usage:
+//
+//	dtad [-addr :8080] [-workers n] [-cache n] [-queue-depth n]
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting,
+// in-flight requests finish, queued jobs run to completion, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU)")
+		cacheSize  = flag.Int("cache", service.DefaultCacheSize, "max cached result documents")
+		queueDepth = flag.Int("queue-depth", 1024, "max queued jobs")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		QueueDepth: *queueDepth,
+	})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	log.Printf("dtad: engine %s, %d experiments, %d workers, cache %d, listening on %s",
+		service.EngineVersion, len(harness.All()), svc.Workers(), *cacheSize, *addr)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		log.Printf("dtad: draining (in-flight requests and queued jobs finish first)")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("dtad: shutdown: %v", err)
+		}
+		svc.Close()
+	}()
+
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("dtad: %v", err)
+	}
+	<-done
+	log.Printf("dtad: drained, bye")
+}

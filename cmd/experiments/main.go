@@ -4,16 +4,24 @@
 //
 // Usage:
 //
-//	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list] [-parallel n]
+//	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list] [-parallel n] [-json]
 //
 // With no flags it runs the full paper suite at the paper's operating
 // point (8 SPEs, 150-cycle memory, full problem sizes). -parallel n
 // fans the selected experiments out over n workers (n < 0 means one per
 // CPU); each experiment then runs in its own isolated context and the
-// output is printed in the usual order once results are in.
+// output is printed in the usual order once results are in. -json
+// switches stdout to NDJSON — one object per experiment (id, run key,
+// tables, metrics, elapsed) in the same shape the dtad sweep stream
+// serves, so piped consumers need only one decoder.
+//
+// Failed experiments no longer abort the run: every selected experiment
+// is reported (completed results in full, failures on stderr and in the
+// NDJSON error field) and the exit status is 1 if any failed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/service"
 )
 
 func main() {
@@ -34,6 +43,7 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "also print machine-readable metrics")
 		seed     = flag.Uint64("seed", 42, "workload input seed")
 		parallel = flag.Int("parallel", 0, "run experiments on n workers (0 = serial shared-cache, <0 = one per CPU)")
+		jsonOut  = flag.Bool("json", false, "emit NDJSON outcomes (one object per experiment) instead of tables")
 	)
 	flag.Parse()
 
@@ -58,45 +68,84 @@ func main() {
 	}
 
 	opt := harness.Options{SPEs: *spes, Latency: *latency, Quick: *quick, Seed: *seed}
-	report := func(e *harness.Experiment, out *harness.Outcome, elapsed time.Duration) {
-		fmt.Printf("==== %s — %s\n", e.ID, e.Title)
-		fmt.Printf("     paper: %s\n\n", e.Paper)
-		out.Print(os.Stdout)
-		if *metrics {
-			keys := make([]string, 0, len(out.Metrics))
-			for k := range out.Metrics {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				fmt.Printf("metric %s.%s = %.4f\n", e.ID, k, out.Metrics[k])
-			}
+
+	failed := 0
+	report := func(r harness.RunResult) {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", r.Experiment.ID, r.Err)
 		}
-		fmt.Printf("     (%.1fs)\n\n", elapsed.Seconds())
+		if *jsonOut {
+			if err := reportJSON(opt, r); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "encode %s: %v\n", r.Experiment.ID, err)
+			}
+		} else if r.Err == nil {
+			reportText(r, *metrics)
+		}
 	}
 
+	start := time.Now()
 	if *parallel != 0 {
-		start := time.Now()
-		results := harness.Parallel(opt, selected, *parallel)
-		for _, r := range results {
-			if r.Err != nil {
-				fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", r.Experiment.ID, r.Err)
-				os.Exit(1)
-			}
-			report(r.Experiment, r.Outcome, r.Elapsed)
+		// Parallel mode necessarily waits for the pool; results still
+		// print in presentation order.
+		for _, r := range harness.Parallel(opt, selected, *parallel) {
+			report(r)
 		}
-		fmt.Printf("==== sweep wall time %.1fs over %d experiments\n", time.Since(start).Seconds(), len(results))
-		return
+	} else {
+		// Serial mode shares one context so repeated configurations hit
+		// the in-process run cache, and reports each experiment as it
+		// completes (full-size sweeps take hours — output must stream).
+		ctx := harness.NewContext(opt)
+		for _, e := range selected {
+			report(harness.RunOn(ctx, e))
+		}
 	}
+	if !*jsonOut {
+		fmt.Printf("==== sweep wall time %.1fs over %d experiments (%d failed)\n",
+			time.Since(start).Seconds(), len(selected), failed)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
 
-	ctx := harness.NewContext(opt)
-	for _, e := range selected {
-		start := time.Now()
-		out, err := e.Run(ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
-			os.Exit(1)
+// reportText renders one result the classic human-readable way.
+func reportText(r harness.RunResult, metrics bool) {
+	e, out := r.Experiment, r.Outcome
+	fmt.Printf("==== %s — %s\n", e.ID, e.Title)
+	fmt.Printf("     paper: %s\n\n", e.Paper)
+	out.Print(os.Stdout)
+	if metrics {
+		keys := make([]string, 0, len(out.Metrics))
+		for k := range out.Metrics {
+			keys = append(keys, k)
 		}
-		report(e, out, time.Since(start))
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("metric %s.%s = %.4f\n", e.ID, k, out.Metrics[k])
+		}
 	}
+	fmt.Printf("     (%.1fs)\n\n", r.Elapsed.Seconds())
+}
+
+// reportJSON emits one NDJSON line via the shared service encoder, so
+// CLI batches and dtad streams produce the same shape. An encoding
+// failure (e.g. a NaN metric, unrepresentable in JSON) still emits an
+// error line — consumers always see one object per experiment — and is
+// returned so the sweep exits non-zero.
+func reportJSON(opt harness.Options, r harness.RunResult) error {
+	line, err := service.EncodeRunResult(opt, r)
+	if err != nil {
+		fallback, _ := json.Marshal(service.RunLine{
+			Experiment: r.Experiment.ID,
+			Key:        service.RunKey(r.Experiment.ID, opt),
+			ElapsedMS:  r.Elapsed.Milliseconds(),
+			Error:      fmt.Sprintf("encode: %v", err),
+		})
+		os.Stdout.Write(append(fallback, '\n'))
+		return err
+	}
+	os.Stdout.Write(append(line, '\n'))
+	return nil
 }

@@ -25,7 +25,12 @@ type Options struct {
 	Seed    uint64
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns o with unset fields replaced by the paper's
+// operating point (8 SPEs, 150-cycle memory, seed 42). Two Options
+// values that normalise to the same WithDefaults() result describe the
+// same run — internal/service relies on this to compute canonical run
+// keys, so any new Options field must get its default applied here.
+func (o Options) WithDefaults() Options {
 	if o.SPEs == 0 {
 		o.SPEs = 8
 	}
@@ -128,7 +133,7 @@ type Context struct {
 // NewContext prepares a context.
 func NewContext(opt Options) *Context {
 	return &Context{
-		Opt:   opt.withDefaults(),
+		Opt:   opt.WithDefaults(),
 		cache: make(map[runKey]*cell.Result),
 		progs: make(map[progKey]*program.Program),
 	}

@@ -72,9 +72,12 @@ func Serial(opt Options, exps []*Experiment) []RunResult {
 	return results
 }
 
-// runOne executes a single experiment in a fresh context, converting
-// panics into errors so one bad experiment cannot take down a sweep.
-func runOne(opt Options, exp *Experiment) (res RunResult) {
+// RunOn executes one experiment on the given context, converting panics
+// into errors so one bad experiment cannot take down a sweep. It is the
+// shared containment primitive: the pool runners use it with isolated
+// contexts, cmd/experiments uses it with its shared-cache serial
+// context, and the dtad service inherits it through Serial.
+func RunOn(ctx *Context, exp *Experiment) (res RunResult) {
 	start := time.Now()
 	res.Experiment = exp
 	defer func() {
@@ -83,6 +86,11 @@ func runOne(opt Options, exp *Experiment) (res RunResult) {
 			res.Err = fmt.Errorf("experiment %s panicked: %v", exp.ID, r)
 		}
 	}()
-	res.Outcome, res.Err = exp.Run(NewContext(opt))
+	res.Outcome, res.Err = exp.Run(ctx)
 	return res
+}
+
+// runOne executes a single experiment in a fresh context.
+func runOne(opt Options, exp *Experiment) RunResult {
+	return RunOn(NewContext(opt), exp)
 }

@@ -1,0 +1,343 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// API routes (all JSON):
+//
+//	GET  /healthz                 liveness probe
+//	GET  /v1/experiments          registered experiments (id, title, paper)
+//	GET  /v1/stats                cache counters, queue depth, job states
+//	POST /v1/runs                 submit one run; waits and returns the
+//	                              content-addressed result document by
+//	                              default ("wait": false returns 202 +
+//	                              the job immediately)
+//	GET  /v1/runs/{id}            poll a job
+//	DELETE /v1/runs/{id}          cancel a queued job
+//	GET  /v1/results/{key}        fetch a cached result document by run key
+//	POST /v1/sweeps               submit a batch; returns 202 + the sweep
+//	GET  /v1/sweeps/{id}          poll a sweep
+//	GET  /v1/sweeps/{id}/stream   NDJSON: one RunLine per experiment as
+//	                              each completes (submission order)
+//
+// Synchronous run responses set X-Dtad-Cache to "hit" or "miss"; the
+// body is the cached document verbatim, so resubmitting an identical
+// run returns byte-identical JSON.
+
+// JobDoc is the API representation of a job.
+type JobDoc struct {
+	Job        string          `json:"job"`
+	Experiment string          `json:"experiment"`
+	Key        string          `json:"key"`
+	State      JobState        `json:"state"`
+	CacheHit   bool            `json:"cache_hit"`
+	ElapsedMS  int64           `json:"elapsed_ms"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// SweepDoc is the API representation of a sweep.
+type SweepDoc struct {
+	Sweep string   `json:"sweep"`
+	Total int      `json:"total"`
+	Done  int      `json:"done"`
+	Jobs  []JobDoc `json:"jobs"`
+}
+
+// StatsDoc is the /v1/stats payload.
+type StatsDoc struct {
+	Engine      string         `json:"engine"`
+	Cache       CacheStats     `json:"cache"`
+	Simulations int64          `json:"simulations"`
+	Workers     int            `json:"workers"`
+	QueueLen    int            `json:"queue_len"`
+	Jobs        map[string]int `json:"jobs"`
+}
+
+// runRequest is the POST /v1/runs body.
+type runRequest struct {
+	Experiment string     `json:"experiment"`
+	Options    OptionsDoc `json:"options"`
+	Wait       *bool      `json:"wait,omitempty"` // default true
+}
+
+// sweepRequest is the POST /v1/sweeps body.
+type sweepRequest struct {
+	Experiments []string   `json:"experiments"` // empty + All => every registered experiment
+	All         bool       `json:"all,omitempty"`
+	Options     OptionsDoc `json:"options"`
+}
+
+// Handler returns the HTTP API for the service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "engine": EngineVersion})
+	})
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelRun)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleGetResult)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStreamSweep)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// jobDoc snapshots a job under the service lock.
+func (s *Service) jobDoc(job *Job, includeResult bool) JobDoc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc := JobDoc{
+		Job:        job.ID,
+		Experiment: job.Experiment,
+		Key:        job.Key,
+		State:      job.State,
+		CacheHit:   job.CacheHit,
+		Error:      job.Err,
+	}
+	if !job.Started.IsZero() && !job.Finished.IsZero() {
+		doc.ElapsedMS = job.Finished.Sub(job.Started).Milliseconds()
+	}
+	if includeResult && job.State == JobDone {
+		doc.Result = job.Result
+	}
+	return doc
+}
+
+func (s *Service) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type expDoc struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Paper string `json:"paper"`
+	}
+	var out []expDoc
+	for _, e := range s.list() {
+		out = append(out, expDoc{ID: e.ID, Title: e.Title, Paper: e.Paper})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	byState := make(map[string]int)
+	for _, j := range s.jobs {
+		byState[string(j.State)]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsDoc{
+		Engine:      EngineVersion,
+		Cache:       s.cache.Stats(),
+		Simulations: s.Simulations(),
+		Workers:     s.Workers(),
+		QueueLen:    s.QueueLen(),
+		Jobs:        byState,
+	})
+}
+
+func (s *Service) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Experiment == "" {
+		writeError(w, http.StatusBadRequest, "missing \"experiment\"")
+		return
+	}
+	job, err := s.Submit(req.Experiment, req.Options.Harness())
+	if err != nil {
+		status := http.StatusBadRequest
+		// Overload conditions are retryable, a bad experiment id is not.
+		if job != nil || errors.Is(err, ErrDraining) { // queue full or draining
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	if req.Wait != nil && !*req.Wait {
+		writeJSON(w, http.StatusAccepted, s.jobDoc(job, false))
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		return
+	}
+	doc := s.jobDoc(job, true)
+	switch doc.State {
+	case JobDone:
+	case JobCanceled:
+		// Client-initiated, not a server fault.
+		writeJSON(w, http.StatusConflict, doc)
+		return
+	default:
+		writeJSON(w, http.StatusInternalServerError, doc)
+		return
+	}
+	// Serve the content-addressed bytes verbatim: identical submissions
+	// get byte-identical bodies whether simulated or cached.
+	if doc.CacheHit {
+		w.Header().Set("X-Dtad-Cache", "hit")
+	} else {
+		w.Header().Set("X-Dtad-Cache", "miss")
+	}
+	writeRaw(w, doc.Result)
+}
+
+// writeRaw serves a cached document plus trailing newline. The bytes
+// are shared with the cache (and other in-flight responses), so no
+// appending in place — json.Marshal leaves spare capacity and a
+// concurrent append would race on the common backing array.
+func writeRaw(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+	io.WriteString(w, "\n")
+}
+
+func (s *Service) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobDoc(job, true))
+}
+
+func (s *Service) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	job, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, s.jobDoc(job, false))
+}
+
+func (s *Service) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for key %q", key)
+		return
+	}
+	w.Header().Set("X-Dtad-Cache", "hit")
+	writeRaw(w, data)
+}
+
+func (s *Service) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ids := req.Experiments
+	if len(ids) == 0 && req.All {
+		for _, e := range s.list() {
+			ids = append(ids, e.ID)
+		}
+	}
+	sweep, err := s.SubmitSweep(ids, req.Options.Harness())
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.sweepDoc(sweep))
+}
+
+func (s *Service) sweepDoc(sweep *Sweep) SweepDoc {
+	doc := SweepDoc{Sweep: sweep.ID, Total: len(sweep.Jobs)}
+	for _, j := range sweep.Jobs {
+		jd := s.jobDoc(j, false)
+		if jd.State.Terminal() {
+			doc.Done++
+		}
+		doc.Jobs = append(doc.Jobs, jd)
+	}
+	return doc
+}
+
+func (s *Service) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	sweep, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sweepDoc(sweep))
+}
+
+// handleStreamSweep writes one NDJSON RunLine per experiment, in
+// submission order, each line flushed as soon as that job completes.
+func (s *Service) handleStreamSweep(w http.ResponseWriter, r *http.Request) {
+	sweep, ok := s.Sweep(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for _, job := range sweep.Jobs {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			return
+		}
+		line, err := s.streamLine(job)
+		if err != nil {
+			line = []byte(fmt.Sprintf(`{"experiment":%q,"error":%q}`, job.Experiment, err.Error()))
+		}
+		w.Write(append(line, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// streamLine renders a terminal job as a RunLine, reusing the result
+// document's tables/metrics so the stream matches `experiments -json`.
+func (s *Service) streamLine(job *Job) ([]byte, error) {
+	doc := s.jobDoc(job, true)
+	line := RunLine{
+		Experiment: doc.Experiment,
+		Key:        doc.Key,
+		ElapsedMS:  doc.ElapsedMS,
+	}
+	switch doc.State {
+	case JobDone:
+		var res ResultDoc
+		if err := json.Unmarshal(doc.Result, &res); err != nil {
+			return nil, err
+		}
+		line.Tables = res.Tables
+		line.Notes = res.Notes
+		line.Metrics = res.Metrics
+	case JobCanceled:
+		line.Error = "canceled"
+	default:
+		line.Error = doc.Error
+	}
+	return json.Marshal(line)
+}

@@ -1,0 +1,51 @@
+// Package service turns the experiment harness into a long-running
+// simulation service: canonical run keys make results content-
+// addressable, a bounded LRU cache serves repeated runs without
+// re-simulating, a worker-pool job queue batches submissions with the
+// same isolation guarantees as harness.Parallel, and an HTTP/JSON API
+// (cmd/dtad) exposes submit/poll/stream over all of it.
+//
+// The whole design leans on one property PR 1 established and the
+// harness test suite enforces: simulations are byte-for-byte
+// deterministic. Identical inputs produce identical outcomes on every
+// run and every machine, so a hash of the inputs is a faithful address
+// for the output.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/harness"
+)
+
+// EngineVersion names the simulation semantics run keys are computed
+// under. Bump it whenever a change to the engine, workloads, ISA or
+// harness can alter any experiment's cycle counts or stats — old cached
+// results then stop matching new submissions instead of serving stale
+// numbers. The current value corresponds to the PR 1 event-queue
+// scheduler (verified metric-identical to the seed's linear scan).
+const EngineVersion = "celldta/2"
+
+// keySchema versions the hash pre-image layout itself, independently of
+// engine semantics.
+const keySchema = "dtad-key-v1"
+
+// RunKey returns the canonical content address for one experiment run:
+// a SHA-256 over (key schema, engine version, experiment ID, normalised
+// harness.Options). Options are normalised through WithDefaults first,
+// so Options{} and the explicit paper operating point hash identically.
+//
+// Workload parameters (problem sizes, worker counts, input seeds) are
+// derived deterministically inside the harness from SPEs/Quick/Seed,
+// so hashing the normalised Options covers them; if workload derivation
+// ever grows an input outside Options, it must be added here (or
+// EngineVersion bumped).
+func RunKey(experimentID string, opt harness.Options) string {
+	opt = opt.WithDefaults()
+	pre := fmt.Sprintf("%s|engine=%s|experiment=%s|spes=%d|latency=%d|quick=%t|seed=%d",
+		keySchema, EngineVersion, experimentID, opt.SPEs, opt.Latency, opt.Quick, opt.Seed)
+	sum := sha256.Sum256([]byte(pre))
+	return hex.EncodeToString(sum[:])
+}

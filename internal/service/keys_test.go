@@ -1,0 +1,61 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// goldenKey pins the run key for the canonical quick fig7 run. Because
+// the hash is computed from a fixed pre-image string, a matching golden
+// here proves the key is stable across processes and machines — the
+// property that makes cached results addressable from anywhere. It must
+// only ever change together with EngineVersion or keySchema.
+const goldenKey = "d708ba3c78e922124890d6fd875021b41bc8b4e98d0c7cc1529bddd5da77a77e"
+
+func TestRunKeyGolden(t *testing.T) {
+	got := RunKey("fig7", harness.Options{SPEs: 8, Latency: 150, Quick: true, Seed: 42})
+	if got != goldenKey {
+		t.Fatalf("run key changed:\n got  %s\n want %s\nif the engine or key schema changed intentionally, bump EngineVersion/keySchema and update the golden", got, goldenKey)
+	}
+}
+
+// TestRunKeyNormalisation: zero-valued options hash like the explicit
+// paper defaults, so clients need not know the operating point.
+func TestRunKeyNormalisation(t *testing.T) {
+	implicit := RunKey("fig7", harness.Options{Quick: true})
+	explicit := RunKey("fig7", harness.Options{SPEs: 8, Latency: 150, Quick: true, Seed: 42})
+	if implicit != explicit {
+		t.Fatalf("defaulted and explicit options disagree: %s vs %s", implicit, explicit)
+	}
+}
+
+// TestRunKeySensitivity: every input field changes the key.
+func TestRunKeySensitivity(t *testing.T) {
+	base := harness.Options{SPEs: 8, Latency: 150, Quick: true, Seed: 42}
+	ref := RunKey("fig7", base)
+	variants := map[string]string{
+		"experiment": RunKey("fig8", base),
+		"spes":       RunKey("fig7", harness.Options{SPEs: 4, Latency: 150, Quick: true, Seed: 42}),
+		"latency":    RunKey("fig7", harness.Options{SPEs: 8, Latency: 300, Quick: true, Seed: 42}),
+		"quick":      RunKey("fig7", harness.Options{SPEs: 8, Latency: 150, Quick: false, Seed: 42}),
+		"seed":       RunKey("fig7", harness.Options{SPEs: 8, Latency: 150, Quick: true, Seed: 43}),
+	}
+	seen := map[string]string{ref: "base"}
+	for field, key := range variants {
+		if key == ref {
+			t.Errorf("changing %s did not change the run key", field)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s and %s collide on %s", field, prev, key)
+		}
+		seen[key] = field
+	}
+}
+
+func TestRunKeyRepeatable(t *testing.T) {
+	opt := harness.Options{Quick: true, Seed: 7}
+	if RunKey("table2", opt) != RunKey("table2", opt) {
+		t.Fatal("run key not repeatable within a process")
+	}
+}

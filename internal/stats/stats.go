@@ -121,11 +121,13 @@ func (s *SPU) Merge(o SPU) {
 }
 
 // Table is a minimal aligned text table used by the experiment harness
-// to print the paper's tables and figure series.
+// to print the paper's tables and figure series. The JSON tags are the
+// wire format served by the dtad API (internal/service) — renaming them
+// breaks cached result documents and golden tests.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // AddRow appends a row.

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -104,5 +105,34 @@ func TestFormatters(t *testing.T) {
 	}
 	if Ratio(11.1845) != "11.18x" {
 		t.Fatalf("Ratio = %q", Ratio(11.1845))
+	}
+}
+
+// TestTableJSONGolden pins the Table wire format served by the dtad API
+// (internal/service): lowercase title/headers/rows keys. Changing these
+// tags breaks cached result documents and API clients.
+func TestTableJSONGolden(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("short", "1")
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"Demo","headers":["name","value"],"rows":[["short","1"]]}`
+	if string(data) != want {
+		t.Fatalf("table JSON changed:\n got  %s\n want %s", data, want)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	var orig, roundtrip bytes.Buffer
+	tbl.Render(&orig)
+	back.Render(&roundtrip)
+	if orig.String() != roundtrip.String() {
+		t.Fatalf("render diverges after JSON round trip:\n%s\nvs\n%s", orig.String(), roundtrip.String())
 	}
 }
