@@ -1,0 +1,176 @@
+// Command dtafuzz drives the synth differential fuzzer: it generates
+// scenario programs from seeds, runs each three ways (functional
+// oracle, simulated original, simulated prefetch-transformed) and
+// fails loudly on any divergence, deadlock or guard-band violation.
+//
+// Usage:
+//
+//	dtafuzz [-seeds n] [-start s] [-seed s] [-duration d] [-parallel n]
+//	        [-quick] [-shrink] [-out path] [-latency n] [-v]
+//
+// Modes:
+//
+//	-seeds n      check seeds start..start+n-1 (default 64)
+//	-seed s       check exactly one seed
+//	-duration d   keep checking increasing seeds until the budget ends
+//	-shrink       on failure, minimise the lowest failing seed and write
+//	              an asm-format reproducer to -out
+//	-quick        lower the simulated memory latency for faster sweeps
+//
+// Seeds fan out over a worker pool (-parallel, default one per CPU);
+// every check is independent and deterministic, so parallel and serial
+// sweeps find exactly the same failures. Exit status: 0 all seeds
+// passed, 1 divergence found (reproducer written when -shrink), 2 bad
+// usage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/synth"
+)
+
+type outcome struct {
+	seed uint64
+	rep  *synth.Report
+	err  error
+}
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 64, "number of seeds to check (ignored with -seed/-duration)")
+		start    = flag.Uint64("start", 1, "first seed")
+		oneSeed  = flag.Uint64("seed", 0, "check a single seed and exit")
+		duration = flag.Duration("duration", 0, "time budget: check increasing seeds until it expires")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
+		quick    = flag.Bool("quick", false, "quick mode: 60-cycle memory latency")
+		shrink   = flag.Bool("shrink", false, "shrink the lowest failing seed to a minimal reproducer")
+		out      = flag.String("out", "synth-repro.txt", "reproducer path (with -shrink)")
+		latency  = flag.Int("latency", 0, "main-memory latency in cycles (0 = paper 150)")
+		verbose  = flag.Bool("v", false, "log every seed, not just failures")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	if *seeds <= 0 {
+		fmt.Fprintf(os.Stderr, "-seeds must be positive (got %d)\n", *seeds)
+		os.Exit(2)
+	}
+	oneSeedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			oneSeedSet = true
+		}
+	})
+
+	opt := synth.CheckOptions{Latency: *latency}
+	if *quick && opt.Latency == 0 {
+		opt.Latency = 60
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	// Seed feed: a fixed range, a single seed, or a deadline-bounded
+	// open-ended stream.
+	seedCh := make(chan uint64)
+	go func() {
+		defer close(seedCh)
+		switch {
+		case oneSeedSet:
+			seedCh <- *oneSeed
+		case *duration > 0:
+			deadline := time.Now().Add(*duration)
+			for s := *start; time.Now().Before(deadline); s++ {
+				seedCh <- s
+			}
+		default:
+			for s := *start; s < *start+uint64(*seeds); s++ {
+				seedCh <- s
+			}
+		}
+	}()
+
+	// Outcomes stream as they complete (failures to stderr immediately —
+	// a long -duration run must not sit silent on a hit, nor buffer
+	// per-seed Reports for hours); only counters and the lowest failing
+	// seed are retained.
+	began := time.Now()
+	var mu sync.Mutex
+	var checked, failures, pfWins int
+	var firstFail *outcome
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for seed := range seedCh {
+				rep, err := synth.CheckSeed(seed, opt)
+				mu.Lock()
+				checked++
+				if err != nil {
+					failures++
+					if firstFail == nil || seed < firstFail.seed {
+						firstFail = &outcome{seed: seed, err: err}
+					}
+					fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", seed, err)
+				} else {
+					if rep.PFCycles < rep.OrigCycles {
+						pfWins++
+					}
+					if *verbose {
+						fmt.Printf("ok seed %d: %s orig=%d pf=%d decoupled=%.0f%%\n",
+							seed, rep.Scenario.Summary(), rep.OrigCycles, rep.PFCycles,
+							100*rep.Decoupled)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("dtafuzz: %d seeds in %.1fs, %d failed, prefetch faster on %d/%d (generator %s)\n",
+		checked, time.Since(began).Seconds(), failures, pfWins, checked-failures,
+		synth.GenVersion)
+
+	if failures == 0 {
+		return
+	}
+	if *shrink {
+		de, ok := firstFail.err.(*synth.DivergenceError)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cannot shrink non-divergence error: %v\n", firstFail.err)
+			os.Exit(1)
+		}
+		res, err := synth.Shrink(de.Scenario, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrink failed: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproducer: %v\n", err)
+			os.Exit(1)
+		}
+		werr := synth.WriteReproducer(f, res, opt)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		fmt.Fprintf(os.Stderr, "shrunk seed %d to %d instructions (%d probes): %s\n",
+			firstFail.seed, res.CodeLen, res.Probes, res.Minimal.Summary())
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "reproducer write to %s FAILED (artifact may be truncated): %v\n", *out, werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "reproducer written to %s\n", *out)
+	}
+	os.Exit(1)
+}

@@ -7,7 +7,10 @@
 //	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list] [-parallel n] [-json]
 //
 // With no flags it runs the full paper suite at the paper's operating
-// point (8 SPEs, 150-cycle memory, full problem sizes). -parallel n
+// point (8 SPEs, 150-cycle memory, full problem sizes) followed by the
+// pinned synth corpus: generated scenarios (synth/0001..synth/0032,
+// see FUZZING.md) are first-class experiments — they appear in -list,
+// run by name through -only, and sweep like any paper figure. -parallel n
 // fans the selected experiments out over n workers (n < 0 means one per
 // CPU); each experiment then runs in its own isolated context and the
 // output is printed in the usual order once results are in. -json

@@ -1,9 +1,15 @@
-package asm
+package asm_test
+
+// External test package: the round-trip tests build registered
+// workloads (including synth corpus entries, which transitively import
+// asm for reproducer dumps), so they must live outside the package to
+// avoid a test-only import cycle.
 
 import (
 	"strings"
 	"testing"
 
+	"repro/internal/asm"
 	"repro/internal/cell"
 	"repro/internal/isa"
 	"repro/internal/prefetch"
@@ -27,7 +33,7 @@ const helloSrc = `
 `
 
 func TestParseMinimal(t *testing.T) {
-	p, err := Parse(helloSrc)
+	p, err := asm.Parse(helloSrc)
 	if err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
@@ -40,7 +46,7 @@ func TestParseMinimal(t *testing.T) {
 }
 
 func TestParsedProgramRuns(t *testing.T) {
-	p, err := Parse(helloSrc)
+	p, err := asm.Parse(helloSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +88,7 @@ top:
 `
 
 func TestParseLabelsAndRun(t *testing.T) {
-	p, err := Parse(loopSrc)
+	p, err := asm.Parse(loopSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +137,7 @@ top:
 `
 
 func TestRegionsAndTaggedReads(t *testing.T) {
-	p, err := Parse(regionSrc)
+	p, err := asm.Parse(regionSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +195,7 @@ const fallocSrc = `
 `
 
 func TestFallocByName(t *testing.T) {
-	p, err := Parse(fallocSrc)
+	p, err := asm.Parse(fallocSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +226,7 @@ func TestParseErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			_, err := Parse(c.src)
+			_, err := asm.Parse(c.src)
 			if err == nil || !strings.Contains(err.Error(), c.want) {
 				t.Fatalf("err = %v, want containing %q", err, c.want)
 			}
@@ -231,12 +237,12 @@ func TestParseErrors(t *testing.T) {
 func TestFormatParseRoundTrip(t *testing.T) {
 	// Round-trip the hand-written sources.
 	for _, src := range []string{helloSrc, loopSrc, regionSrc, fallocSrc} {
-		p1, err := Parse(src)
+		p1, err := asm.Parse(src)
 		if err != nil {
 			t.Fatal(err)
 		}
-		text := Format(p1)
-		p2, err := Parse(text)
+		text := asm.Format(p1)
+		p2, err := asm.Parse(text)
 		if err != nil {
 			t.Fatalf("reparse failed: %v\n%s", err, text)
 		}
@@ -244,7 +250,7 @@ func TestFormatParseRoundTrip(t *testing.T) {
 			t.Fatalf("round trip changed the program:\n%s", text)
 		}
 		// Format is a fixpoint after one round.
-		if Format(p2) != text {
+		if asm.Format(p2) != text {
 			t.Fatal("Format not stable after round trip")
 		}
 	}
@@ -270,8 +276,8 @@ func TestWorkloadsFormatParseRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		text := Format(prog)
-		back, err := Parse(text)
+		text := asm.Format(prog)
+		back, err := asm.Parse(text)
 		if err != nil {
 			t.Fatalf("%s: reparse: %v", name, err)
 		}

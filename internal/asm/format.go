@@ -100,10 +100,17 @@ func formatSizeExpr(e program.SizeExpr) string {
 	if e.Slot < 0 {
 		return fmt.Sprintf("%d", e.Const)
 	}
-	if e.Scale == 1 {
-		return fmt.Sprintf("s%d", e.Slot)
+	s := fmt.Sprintf("s%d", e.Slot)
+	if e.Scale != 1 {
+		s += fmt.Sprintf("*%d", e.Scale)
 	}
-	return fmt.Sprintf("s%d*%d", e.Slot, e.Scale)
+	switch {
+	case e.Const > 0:
+		s += fmt.Sprintf("+%d", e.Const)
+	case e.Const < 0:
+		s += fmt.Sprintf("%d", e.Const)
+	}
+	return s
 }
 
 func formatBlock(b *strings.Builder, p *program.Program, t *program.Template, k program.BlockKind) {

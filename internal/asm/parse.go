@@ -329,12 +329,31 @@ func parseAddrExpr(parts []string) (program.AddrExpr, int, error) {
 	return e, 1, nil
 }
 
-// parseSizeExpr parses "sN*scale" or a constant.
+// parseSizeExpr parses "sN", "sN*scale", either with a trailing +C/-C
+// constant term, or a bare constant.
 func parseSizeExpr(s string) (program.SizeExpr, error) {
 	if strings.HasPrefix(s, "s") {
-		slotPart, scalePart := s[1:], "1"
-		if star := strings.Index(s, "*"); star >= 0 {
-			slotPart, scalePart = s[1:star], s[star+1:]
+		body, constPart := s[1:], ""
+		// Peel a trailing signed constant; skip position 0 so a leading
+		// sign on the scale (after '*') is never mistaken for it.
+		if star := strings.Index(body, "*"); star >= 0 {
+			for i := star + 2; i < len(body); i++ {
+				if body[i] == '+' || body[i] == '-' {
+					body, constPart = body[:i], body[i:]
+					break
+				}
+			}
+		} else {
+			for i := 1; i < len(body); i++ {
+				if body[i] == '+' || body[i] == '-' {
+					body, constPart = body[:i], body[i:]
+					break
+				}
+			}
+		}
+		slotPart, scalePart := body, "1"
+		if star := strings.Index(body, "*"); star >= 0 {
+			slotPart, scalePart = body[:star], body[star+1:]
 		}
 		slot, err := strconv.Atoi(slotPart)
 		if err != nil {
@@ -344,7 +363,14 @@ func parseSizeExpr(s string) (program.SizeExpr, error) {
 		if err != nil {
 			return program.SizeExpr{}, fmt.Errorf("bad scale in %q", s)
 		}
-		return program.SizeSlot(slot, scale, 0), nil
+		c := int64(0)
+		if constPart != "" {
+			c, err = parseInt(strings.TrimPrefix(constPart, "+"))
+			if err != nil {
+				return program.SizeExpr{}, fmt.Errorf("bad constant in %q", s)
+			}
+		}
+		return program.SizeSlot(slot, scale, c), nil
 	}
 	c, err := parseInt(s)
 	if err != nil {

@@ -304,3 +304,7 @@ func (m *Machine) MemReader() program.MemReader { return mem.Reader{S: m.memory.
 
 // SPEs exposes the machine's processing elements (for tests and tools).
 func (m *Machine) SPEs() []*SPE { return m.spes }
+
+// MemSparse exposes the functional backing store of main memory (for
+// whole-image comparison by the synth differential checker).
+func (m *Machine) MemSparse() *mem.Sparse { return m.memory.Store() }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/synth"
 )
 
 // quickCtx runs the suite at reduced problem sizes.
@@ -26,12 +28,17 @@ func runExp(t *testing.T, ctx *Context, id string) *Outcome {
 
 func TestAllExperimentsRegisteredInOrder(t *testing.T) {
 	all := All()
-	if len(all) != len(order) {
-		t.Fatalf("registered %d experiments, order lists %d", len(all), len(order))
+	if len(all) != len(order)+synth.CorpusSize {
+		t.Fatalf("registered %d experiments, want %d paper + %d synth",
+			len(all), len(order), synth.CorpusSize)
 	}
 	for i, e := range all {
-		if e.ID != order[i] {
-			t.Fatalf("position %d: %s, want %s", i, e.ID, order[i])
+		if i < len(order) {
+			if e.ID != order[i] {
+				t.Fatalf("position %d: %s, want %s", i, e.ID, order[i])
+			}
+		} else if e.ID != synth.ExperimentID(uint64(i-len(order)+1)) {
+			t.Fatalf("position %d: %s, want %s", i, e.ID, synth.ExperimentID(uint64(i-len(order)+1)))
 		}
 		if e.Title == "" || e.Paper == "" {
 			t.Fatalf("%s missing title/paper reference", e.ID)
@@ -219,8 +226,17 @@ func TestByIDAndIDs(t *testing.T) {
 		t.Fatal("ByID accepted unknown id")
 	}
 	ids := IDs()
-	if len(ids) != len(order) {
+	if len(ids) != len(order)+synth.CorpusSize {
 		t.Fatalf("IDs = %v", ids)
+	}
+	if _, ok := ByID(synth.ExperimentID(1)); !ok {
+		t.Fatal("synth corpus experiment not addressable by id")
+	}
+	// Paper experiments keep presentation order; synth corpus entries
+	// follow in registration (seed) order.
+	all := All()
+	if got := all[len(order)].ID; got != synth.ExperimentID(1) {
+		t.Fatalf("first experiment after the paper set = %s, want %s", got, synth.ExperimentID(1))
 	}
 }
 

@@ -8,6 +8,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // pageBits selects a 64 KiB sparse page.
@@ -158,4 +159,42 @@ func (r Reader) Read64(addr int64) int64 {
 		return 0
 	}
 	return v
+}
+
+// FirstDiff compares two sparse stores byte for byte (unallocated pages
+// read as zero) and returns the lowest differing address. equal=true
+// means the images are identical. Used by the synth differential
+// checker to assert two executions produced the same final memory.
+func FirstDiff(a, b *Sparse) (addr int64, equal bool) {
+	idxs := make(map[int64]struct{}, len(a.pages)+len(b.pages))
+	for i := range a.pages {
+		idxs[i] = struct{}{}
+	}
+	for i := range b.pages {
+		idxs[i] = struct{}{}
+	}
+	sorted := make([]int64, 0, len(idxs))
+	for i := range idxs {
+		sorted = append(sorted, i)
+	}
+	sort.Slice(sorted, func(x, y int) bool { return sorted[x] < sorted[y] })
+	for _, i := range sorted {
+		pa, pb := a.pages[i], b.pages[i]
+		if pa == nil && pb == nil {
+			continue
+		}
+		for off := 0; off < pageSize; off++ {
+			var va, vb byte
+			if pa != nil {
+				va = pa[off]
+			}
+			if pb != nil {
+				vb = pb[off]
+			}
+			if va != vb {
+				return i<<pageBits + int64(off), false
+			}
+		}
+	}
+	return 0, true
 }

@@ -1,0 +1,55 @@
+package prefetch_test
+
+// External test package: synth imports prefetch, so this corpus-level
+// regression test for Transform lives on the _test side of the package
+// boundary.
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/prefetch"
+	"repro/internal/synth"
+)
+
+// TestTransformOverSynthCorpus pins Transform's behaviour over the
+// 32-seed synth corpus: every transformed program must be functionally
+// identical to its original (tokens and written memory, via the full
+// differential check) and must never exceed the documented cycle guard
+// band (synth.DefaultGuardRatio x original + synth.DefaultGuardSlack).
+// A transformer change that alters results or wrecks performance on any
+// corpus shape fails here before it reaches the paper experiments.
+func TestTransformOverSynthCorpus(t *testing.T) {
+	for _, seed := range synth.CorpusSeeds() {
+		sc := synth.FromSeed(seed)
+		// CheckScenario enforces the functional identity and both guard
+		// bands internally; any violation surfaces as a DivergenceError.
+		if _, err := synth.CheckScenario(sc, synth.CheckOptions{}); err != nil {
+			t.Errorf("corpus seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestTransformDeterministicOverCorpus: Transform is a pure function of
+// its input — identical assembly out for identical programs in, across
+// every corpus shape (chunked regions, multi-region templates,
+// write-path-free templates).
+func TestTransformDeterministicOverCorpus(t *testing.T) {
+	for _, seed := range synth.CorpusSeeds() {
+		prog, err := synth.Generate(synth.FromSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		a, err := prefetch.Transform(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := prefetch.Transform(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if asm.Format(a) != asm.Format(b) {
+			t.Fatalf("seed %d: Transform not deterministic", seed)
+		}
+	}
+}

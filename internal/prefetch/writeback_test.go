@@ -1,4 +1,8 @@
-package prefetch
+package prefetch_test
+
+// External test package: these tests build workload programs, and the
+// workloads registry now includes synth corpus entries that import
+// prefetch — an import cycle unless the tests sit outside the package.
 
 import (
 	"strings"
@@ -6,13 +10,14 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/isa"
+	"repro/internal/prefetch"
 	"repro/internal/program"
 	"repro/internal/workloads"
 )
 
 // runWB builds a workload, applies the given transform options, runs it
 // on 4 SPEs and verifies the functional check.
-func runWB(t *testing.T, name string, p workloads.Params, opt Options) *cell.Result {
+func runWB(t *testing.T, name string, p workloads.Params, opt prefetch.Options) *cell.Result {
 	t.Helper()
 	w, ok := workloads.Get(name)
 	if !ok {
@@ -22,7 +27,7 @@ func runWB(t *testing.T, name string, p workloads.Params, opt Options) *cell.Res
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err = TransformWithOptions(prog, opt)
+	prog, err = prefetch.TransformWithOptions(prog, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,8 +50,8 @@ func runWB(t *testing.T, name string, p workloads.Params, opt Options) *cell.Res
 
 func TestWriteBackMmulCorrectAndWriteFree(t *testing.T) {
 	p := workloads.Params{N: 16, Workers: 8, Seed: 21}
-	plain := runWB(t, "mmul", p, Options{})
-	wb := runWB(t, "mmul", p, Options{WriteBack: true})
+	plain := runWB(t, "mmul", p, prefetch.Options{})
+	wb := runWB(t, "mmul", p, prefetch.Options{WriteBack: true})
 
 	// Plain prefetching leaves the WRITEs posted.
 	if plain.Agg.Instr.Write != 16*16 {
@@ -81,7 +86,7 @@ func TestWriteBackMmulCorrectAndWriteFree(t *testing.T) {
 
 func TestWriteBackZoomCorrect(t *testing.T) {
 	p := workloads.Params{N: 8, Workers: 4, Seed: 22}
-	wb := runWB(t, "zoom", p, Options{WriteBack: true})
+	wb := runWB(t, "zoom", p, prefetch.Options{WriteBack: true})
 	if wb.Agg.Instr.Write != 0 {
 		t.Fatalf("write-back left %d WRITEs", wb.Agg.Instr.Write)
 	}
@@ -100,8 +105,8 @@ func TestWriteBackReducesBusMessages(t *testing.T) {
 	// Batching writes into PUT packets must reduce message count vs
 	// per-element posted writes.
 	p := workloads.Params{N: 16, Workers: 8, Seed: 23}
-	plain := runWB(t, "mmul", p, Options{})
-	wb := runWB(t, "mmul", p, Options{WriteBack: true})
+	plain := runWB(t, "mmul", p, prefetch.Options{})
+	wb := runWB(t, "mmul", p, prefetch.Options{WriteBack: true})
 	if wb.Net.Messages >= plain.Net.Messages {
 		t.Fatalf("write-back did not reduce messages: %d vs %d",
 			wb.Net.Messages, plain.Net.Messages)
@@ -114,7 +119,7 @@ func TestWriteBackSynthesisShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wb, err := TransformWithOptions(prog, Options{WriteBack: true})
+	wb, err := prefetch.TransformWithOptions(prog, prefetch.Options{WriteBack: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +165,7 @@ func TestPlainTransformIgnoresWriteTags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := Transform(prog)
+	plain, err := prefetch.Transform(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +207,7 @@ func TestWriteBackDynamicSizeRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := TransformWithOptions(p, Options{WriteBack: true}); err == nil ||
+	if _, err := prefetch.TransformWithOptions(p, prefetch.Options{WriteBack: true}); err == nil ||
 		!strings.Contains(err.Error(), "constant size") {
 		t.Fatalf("err = %v, want constant-size rejection", err)
 	}

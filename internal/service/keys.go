@@ -16,8 +16,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/synth"
 )
 
 // EngineVersion names the simulation semantics run keys are computed
@@ -43,9 +45,31 @@ const keySchema = "dtad-key-v1"
 // ever grows an input outside Options, it must be added here (or
 // EngineVersion bumped).
 func RunKey(experimentID string, opt harness.Options) string {
+	return runKey(experimentID, opt, generatorVersionFor(experimentID))
+}
+
+// generatorVersionFor returns the extra version component an experiment
+// depends on beyond the engine: synth/* experiments run generated
+// programs, so their results change whenever the generator does — their
+// keys fold in synth.GenVersion. All other experiments depend only on
+// the engine, and their pre-images (and therefore keys) are unchanged.
+func generatorVersionFor(experimentID string) string {
+	if strings.HasPrefix(experimentID, "synth/") {
+		return synth.GenVersion
+	}
+	return ""
+}
+
+// runKey computes the canonical key with an explicit generator-version
+// component (empty = none; the pre-image is then identical to the
+// pre-synth schema, keeping all existing keys stable).
+func runKey(experimentID string, opt harness.Options, genVersion string) string {
 	opt = opt.WithDefaults()
 	pre := fmt.Sprintf("%s|engine=%s|experiment=%s|spes=%d|latency=%d|quick=%t|seed=%d",
 		keySchema, EngineVersion, experimentID, opt.SPEs, opt.Latency, opt.Quick, opt.Seed)
+	if genVersion != "" {
+		pre += "|synthgen=" + genVersion
+	}
 	sum := sha256.Sum256([]byte(pre))
 	return hex.EncodeToString(sum[:])
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/synth"
 )
 
 // goldenKey pins the run key for the canonical quick fig7 run. Because
@@ -57,5 +58,42 @@ func TestRunKeyRepeatable(t *testing.T) {
 	opt := harness.Options{Quick: true, Seed: 7}
 	if RunKey("table2", opt) != RunKey("table2", opt) {
 		t.Fatal("run key not repeatable within a process")
+	}
+}
+
+// goldenSynthKey pins the run key of the first pinned-corpus synth
+// experiment. Synth keys fold in the generator version: it must change
+// when (and only when) EngineVersion, keySchema or synth.GenVersion
+// changes.
+const goldenSynthKey = "0e9bdd77b37c42a71d2f2bbcacd0712ef3543ffc9661b9574e64ee7d9d6d52bb"
+
+func TestSynthRunKeyGolden(t *testing.T) {
+	got := RunKey("synth/0001", harness.Options{SPEs: 8, Latency: 150, Quick: true, Seed: 42})
+	if got != goldenSynthKey {
+		t.Fatalf("synth run key changed:\n got  %s\n want %s\nif the generator changed intentionally, bump synth.GenVersion and update the golden", got, goldenSynthKey)
+	}
+}
+
+// TestGeneratorBumpChangesSynthKeysOnly: simulating a generator bump
+// must move every synth/* key and no other key — cached results for
+// generated programs become unaddressable while paper experiments keep
+// their cache entries.
+func TestGeneratorBumpChangesSynthKeysOnly(t *testing.T) {
+	opt := harness.Options{SPEs: 8, Latency: 150, Quick: true, Seed: 42}
+
+	cur := RunKey("synth/0007", opt)
+	bumped := runKey("synth/0007", opt, "synthgen/next")
+	if cur == bumped {
+		t.Fatal("generator bump did not change a synth/* run key")
+	}
+	if cur != runKey("synth/0007", opt, synth.GenVersion) {
+		t.Fatal("RunKey does not fold the current generator version into synth keys")
+	}
+
+	// Non-synth experiments carry no generator component at all: their
+	// pre-image is the pre-synth schema, so a generator bump cannot
+	// touch them (goldenKey above pins this across releases too).
+	if RunKey("fig7", opt) != runKey("fig7", opt, "") {
+		t.Fatal("non-synth key unexpectedly depends on a generator version")
 	}
 }

@@ -471,14 +471,15 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, info isa.Info) (ok, sl
 		isa.REM, isa.AND, isa.ANDI, isa.OR, isa.ORI, isa.XOR, isa.XORI,
 		isa.SHL, isa.SHLI, isa.SHR, isa.SHRI, isa.SRA, isa.SRAI,
 		isa.CMPEQ, isa.CMPLT, isa.CMPLTU:
-		s.setReg(ins.Rd, s.alu(ins), now+s.latFor(info.Unit), prodALU)
+		v := isa.EvalALU(ins.Op, s.regs[ins.Ra], s.regs[ins.Rb], int64(ins.Imm))
+		s.setReg(ins.Rd, v, now+s.latFor(info.Unit), prodALU)
 		adv()
 
 	case isa.JMP:
 		s.pc = int(ins.Imm)
 		s.nextIssueAt = now + 1 + sim.Cycle(s.cfg.BranchPenalty)
 	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
-		if s.branchTaken(ins) {
+		if isa.BranchTaken(ins.Op, s.regs[ins.Ra], s.regs[ins.Rb]) {
 			s.pc = int(ins.Imm)
 			s.nextIssueAt = now + 1 + sim.Cycle(s.cfg.BranchPenalty)
 		} else {
@@ -677,75 +678,6 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, info isa.Info) (ok, sl
 	return true, false, stats.Working
 }
 
-func (s *SPU) alu(ins isa.Instruction) int64 {
-	a, b := s.regs[ins.Ra], s.regs[ins.Rb]
-	imm := int64(ins.Imm)
-	switch ins.Op {
-	case isa.ADD:
-		return a + b
-	case isa.ADDI:
-		return a + imm
-	case isa.SUB:
-		return a - b
-	case isa.SUBI:
-		return a - imm
-	case isa.MUL:
-		return a * b
-	case isa.MULI:
-		return a * imm
-	case isa.DIV:
-		if b == 0 {
-			return 0
-		}
-		return a / b
-	case isa.REM:
-		if b == 0 {
-			return 0
-		}
-		return a % b
-	case isa.AND:
-		return a & b
-	case isa.ANDI:
-		return a & imm
-	case isa.OR:
-		return a | b
-	case isa.ORI:
-		return a | imm
-	case isa.XOR:
-		return a ^ b
-	case isa.XORI:
-		return a ^ imm
-	case isa.SHL:
-		return a << (uint64(b) & 63)
-	case isa.SHLI:
-		return a << (uint64(imm) & 63)
-	case isa.SHR:
-		return int64(uint64(a) >> (uint64(b) & 63))
-	case isa.SHRI:
-		return int64(uint64(a) >> (uint64(imm) & 63))
-	case isa.SRA:
-		return a >> (uint64(b) & 63)
-	case isa.SRAI:
-		return a >> (uint64(imm) & 63)
-	case isa.CMPEQ:
-		if a == b {
-			return 1
-		}
-		return 0
-	case isa.CMPLT:
-		if a < b {
-			return 1
-		}
-		return 0
-	case isa.CMPLTU:
-		if uint64(a) < uint64(b) {
-			return 1
-		}
-		return 0
-	}
-	return 0
-}
-
 // channelBusy stalls the pipeline for the MFC channel-interface cost
 // (the paper's DMA-programming overhead).
 func (s *SPU) channelBusy(now sim.Cycle) {
@@ -755,25 +687,6 @@ func (s *SPU) channelBusy(now sim.Cycle) {
 			s.nextIssueAt = at
 		}
 	}
-}
-
-func (s *SPU) branchTaken(ins isa.Instruction) bool {
-	a, b := s.regs[ins.Ra], s.regs[ins.Rb]
-	switch ins.Op {
-	case isa.BEQ:
-		return a == b
-	case isa.BNE:
-		return a != b
-	case isa.BLT:
-		return a < b
-	case isa.BGE:
-		return a >= b
-	case isa.BLTU:
-		return uint64(a) < uint64(b)
-	case isa.BGEU:
-		return uint64(a) >= uint64(b)
-	}
-	return false
 }
 
 // DumpState implements sim.StateDumper.

@@ -1,0 +1,230 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The differential checker runs one scenario three ways — functional
+// oracle, simulated original, simulated prefetch-transformed — and
+// asserts that all three produce byte-identical results, that the
+// machine's own functional check (against pure-Go expectations baked in
+// at generation time) passes for both simulations, and that the
+// prefetching run respects the performance invariants below.
+
+// Guard band for the cycle invariant: the transformed program may be
+// slower than the original on tiny scenarios (DMA programming overhead
+// with almost nothing to hide — the paper's bitcnt-at-latency-1 effect)
+// but never by more than GuardRatio x plus GuardSlack cycles. Corpus
+// scenarios sit far inside this envelope; a transformer or scheduler
+// regression that serialises DMA blows through it.
+const (
+	DefaultGuardRatio = 2.0
+	DefaultGuardSlack = 50_000
+)
+
+// CheckOptions configures a differential run.
+type CheckOptions struct {
+	Latency   int       // main-memory latency (0 = the paper's 150)
+	MaxCycles sim.Cycle // per-simulation cycle cap (0 = 100M)
+	MaxSteps  int64     // oracle instruction budget (0 = 50M)
+	// Transform produces the prefetching variant (nil = prefetch.Transform).
+	// Tests inject deliberately broken transformers here to prove the
+	// checker and shrinker catch them.
+	Transform func(*program.Program) (*program.Program, error)
+	// GuardRatio/GuardSlack override the documented cycle guard band
+	// (zero values select the defaults).
+	GuardRatio float64
+	GuardSlack int64
+	// StallSlack is the tolerated growth of memory-stall cycles under
+	// prefetching (absolute, on top of a 25% relative allowance); the
+	// transformed run must satisfy
+	//   pfStall <= origStall + origStall/4 + StallSlack.
+	// Untagged (non-decoupled) READs still stall in both runs and DMA
+	// traffic can delay them slightly, hence the allowance. 0 selects
+	// 2000 cycles.
+	StallSlack int64
+}
+
+func (o CheckOptions) withDefaults() CheckOptions {
+	if o.Latency == 0 {
+		o.Latency = 150
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 100_000_000
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 50_000_000
+	}
+	if o.Transform == nil {
+		o.Transform = prefetch.Transform
+	}
+	if o.GuardRatio == 0 {
+		o.GuardRatio = DefaultGuardRatio
+	}
+	if o.GuardSlack == 0 {
+		o.GuardSlack = DefaultGuardSlack
+	}
+	if o.StallSlack == 0 {
+		o.StallSlack = 2000
+	}
+	return o
+}
+
+// Report summarises one passing differential check.
+type Report struct {
+	Scenario    Scenario
+	OrigCycles  sim.Cycle
+	PFCycles    sim.Cycle
+	OrigStall   int64 // memory-stall cycles, summed over SPUs
+	PFStall     int64
+	OracleSteps int64
+	Threads     int64   // threads completed in the original simulation
+	Decoupled   float64 // fraction of static READs rewritten by the transformer
+	CodeLen     int
+}
+
+// DivergenceError describes a failed differential check; it keeps the
+// scenario so callers can shrink it.
+type DivergenceError struct {
+	Scenario Scenario
+	Phase    string // "generate" | "oracle" | "sim-orig" | "sim-pf" | "compare" | "invariant"
+	Detail   string
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("synth: seed %d [%s]: %s (%s)",
+		e.Scenario.Seed, e.Phase, e.Detail, e.Scenario.Summary())
+}
+
+func diverged(sc Scenario, phase, format string, args ...any) *DivergenceError {
+	return &DivergenceError{Scenario: sc, Phase: phase, Detail: fmt.Sprintf(format, args...)}
+}
+
+// runSim executes prog on a fresh machine and returns the result plus
+// the machine (for its final memory image).
+func runSim(sc Scenario, opt CheckOptions, prog *program.Program) (*cell.Result, *cell.Machine, error) {
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = sc.SPEs
+	cfg.Mem.Latency = opt.Latency
+	cfg.MaxCycles = opt.MaxCycles
+	m, err := cell.New(cfg, prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, m, nil
+}
+
+func tokensEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckScenario generates, oracles, simulates and cross-checks one
+// scenario. A nil error means all three executions agreed byte for
+// byte and every invariant held.
+func CheckScenario(sc Scenario, opt CheckOptions) (*Report, error) {
+	sc = sc.Normalize()
+	opt = opt.withDefaults()
+
+	prog, err := Generate(sc)
+	if err != nil {
+		return nil, diverged(sc, "generate", "%v", err)
+	}
+
+	oracleRes, err := RunOracle(prog, opt.MaxSteps)
+	if err != nil {
+		return nil, diverged(sc, "oracle", "%v", err)
+	}
+
+	orig, origM, err := runSim(sc, opt, prog)
+	if err != nil {
+		return nil, diverged(sc, "sim-orig", "%v", err)
+	}
+	if orig.CheckErr != nil {
+		return nil, diverged(sc, "sim-orig", "functional check: %v", orig.CheckErr)
+	}
+
+	pfProg, err := opt.Transform(prog)
+	if err != nil {
+		return nil, diverged(sc, "sim-pf", "transform: %v", err)
+	}
+	pf, pfM, err := runSim(sc, opt, pfProg)
+	if err != nil {
+		return nil, diverged(sc, "sim-pf", "%v", err)
+	}
+	if pf.CheckErr != nil {
+		return nil, diverged(sc, "sim-pf", "functional check: %v", pf.CheckErr)
+	}
+
+	// Byte-identical results: tokens across all three executions...
+	if !tokensEqual(oracleRes.Tokens, orig.Tokens) {
+		return nil, diverged(sc, "compare", "tokens oracle=%v sim-orig=%v", oracleRes.Tokens, orig.Tokens)
+	}
+	if !tokensEqual(oracleRes.Tokens, pf.Tokens) {
+		return nil, diverged(sc, "compare", "tokens oracle=%v sim-pf=%v", oracleRes.Tokens, pf.Tokens)
+	}
+	// ...and the entire final memory image. Whole-image comparison (not
+	// just the addresses the oracle wrote) catches stray writes a buggy
+	// transformation could emit to locations the original never touches.
+	if addr, equal := mem.FirstDiff(oracleRes.Mem, origM.MemSparse()); !equal {
+		return nil, diverged(sc, "compare", "memory diverges at %#x: oracle=%#x sim-orig=%#x",
+			addr, oracleRes.Reader().Read32(addr&^3), origM.MemReader().Read32(addr&^3))
+	}
+	if addr, equal := mem.FirstDiff(oracleRes.Mem, pfM.MemSparse()); !equal {
+		return nil, diverged(sc, "compare", "memory diverges at %#x: oracle=%#x sim-pf=%#x",
+			addr, oracleRes.Reader().Read32(addr&^3), pfM.MemReader().Read32(addr&^3))
+	}
+
+	// Invariants. Deadlocks and runaways already surfaced as run errors
+	// (machine fault, cycle cap, oracle budget); what remains is the
+	// performance contract of the transformation.
+	origStall := orig.Agg.Breakdown[stats.MemStall]
+	pfStall := pf.Agg.Breakdown[stats.MemStall]
+	if pfStall > origStall+origStall/4+opt.StallSlack {
+		return nil, diverged(sc, "invariant",
+			"prefetch memory-stall cycles %d exceed original %d (+25%% +%d slack)",
+			pfStall, origStall, opt.StallSlack)
+	}
+	limit := sim.Cycle(opt.GuardRatio*float64(orig.Cycles)) + sim.Cycle(opt.GuardSlack)
+	if pf.Cycles > limit {
+		return nil, diverged(sc, "invariant",
+			"prefetch cycles %d exceed guard band %d (original %d, ratio %.1f, slack %d)",
+			pf.Cycles, limit, orig.Cycles, opt.GuardRatio, opt.GuardSlack)
+	}
+
+	st := prefetch.Analyze(prog, pfProg)
+	return &Report{
+		Scenario:    sc,
+		OrigCycles:  orig.Cycles,
+		PFCycles:    pf.Cycles,
+		OrigStall:   origStall,
+		PFStall:     pfStall,
+		OracleSteps: oracleRes.Steps,
+		Threads:     orig.Agg.Threads,
+		Decoupled:   st.DecoupledFraction(),
+		CodeLen:     prog.CodeLen(),
+	}, nil
+}
+
+// CheckSeed is CheckScenario over FromSeed.
+func CheckSeed(seed uint64, opt CheckOptions) (*Report, error) {
+	return CheckScenario(FromSeed(seed), opt)
+}

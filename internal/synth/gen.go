@@ -1,0 +1,675 @@
+package synth
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/workloads/refcheck"
+)
+
+// pipeStages is the fan-in of the pipeline pattern's consumer (partials
+// streamed through frame slots 0..pipeStages-1).
+const pipeStages = 4
+
+// gatherTableLen is the shared data table size of the gather pattern.
+const gatherTableLen = 64
+
+// Per-pattern memory map: every pattern gets disjoint 128 KiB arenas for
+// inputs, auxiliary structures (index tables, chase nodes) and outputs,
+// so patterns in one scenario can never alias.
+func inBase(i int) int64  { return 0x0100_0000 + int64(i)*0x0002_0000 }
+func auxBase(i int) int64 { return 0x0200_0000 + int64(i)*0x0002_0000 }
+func outBase(i int) int64 { return 0x0300_0000 + int64(i)*0x0002_0000 }
+
+// memExpect is one expected main-memory word after the run.
+type memExpect struct {
+	addr  int64
+	width int
+	want  int64
+}
+
+// patternRand returns the input-data generator for a pattern's data
+// stream. Streams are keyed by the pattern's stable Tag (not its
+// position), so shrinking one pattern — or dropping a neighbour —
+// never perturbs the data of the survivors.
+func patternRand(seed uint64, tag int) *sim.Rand {
+	return sim.NewRand(seed*0x9E3779B97F4A7C15 ^ uint64(tag)*0xBF58476D1CE4E5B9)
+}
+
+func int32Segment(vals []int32) []byte {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return buf
+}
+
+func int64Segment(vals []int64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return buf
+}
+
+func randVals32(rng *sim.Rand, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(rng.Uint32() & 0x7FFFFFFF)
+	}
+	return out
+}
+
+// Generate builds the DTA program for a scenario through the standard
+// builder API. The program is fully self-checking: its Check hook
+// compares mailbox tokens and written memory against expectations
+// computed here in pure Go. Generation is deterministic in the
+// scenario (and therefore in the seed).
+func Generate(sc Scenario) (*program.Program, error) {
+	sc = sc.Normalize()
+	b := program.NewBuilder(fmt.Sprintf("synth-%d", sc.Seed))
+
+	expect := make([]int64, len(sc.Patterns))
+	var memExp []memExpect
+
+	// Single-pattern single-worker strided scenarios inline the worker
+	// as the entry template: the smallest reproducer shape shrinking
+	// bottoms out at (no root, no joiner — ~13 instructions).
+	if len(sc.Patterns) == 1 && sc.Patterns[0].Workers == 1 &&
+		(sc.Patterns[0].Kind == KStrided || sc.Patterns[0].Kind == KStrided64) {
+		p := sc.Patterns[0]
+		g := &genCtx{b: b, seed: sc.Seed}
+		worker := g.stridedWorker(0, p, true)
+		expect[0] = g.stridedData(0, p)
+		b.Entry(worker, inBase(0), int64(p.N))
+		b.ExpectTokens(1)
+		installCheck(b, expect, nil)
+		return b.Build()
+	}
+
+	root := b.Template("root")
+	g := &genCtx{b: b, seed: sc.Seed}
+	ps := root.PS()
+	for i, p := range sc.Patterns {
+		switch p.Kind {
+		case KStrided, KStrided64:
+			expect[i] = g.spawnStrided(ps, i, p)
+		case KGather:
+			expect[i] = g.spawnGather(ps, i, p)
+		case KChase:
+			expect[i] = g.spawnChase(ps, i, p)
+		case KReduce:
+			expect[i] = g.spawnReduce(ps, i, p)
+		case KPipeline:
+			tok, mem := g.spawnPipeline(ps, i, p)
+			expect[i] = tok
+			memExp = append(memExp, mem...)
+		case KStencil:
+			tok, mem := g.spawnStencil(ps, i, p)
+			expect[i] = tok
+			memExp = append(memExp, mem...)
+		default:
+			return nil, fmt.Errorf("synth: unknown pattern kind %v", p.Kind)
+		}
+	}
+	ps.Ffree()
+	ps.Stop()
+
+	b.Entry(root, 1)
+	b.ExpectTokens(len(sc.Patterns))
+	installCheck(b, expect, memExp)
+	return b.Build()
+}
+
+func installCheck(b *program.Builder, expect []int64, memExp []memExpect) {
+	b.Check(func(mr program.MemReader, tokens []int64) error {
+		if len(tokens) != len(expect) {
+			return fmt.Errorf("synth: got %d tokens, want %d", len(tokens), len(expect))
+		}
+		for i, want := range expect {
+			if tokens[i] != want {
+				return fmt.Errorf("synth: token[%d] = %d, want %d", i, tokens[i], want)
+			}
+		}
+		for _, m := range memExp {
+			var got int64
+			if m.width == 8 {
+				got = mr.Read64(m.addr)
+			} else {
+				got = mr.Read32(m.addr)
+			}
+			if got != m.want {
+				return fmt.Errorf("synth: mem[%#x] = %d, want %d", m.addr, got, m.want)
+			}
+		}
+		return nil
+	})
+}
+
+// genCtx carries builder state shared by the pattern emitters.
+type genCtx struct {
+	b    *program.Builder
+	seed uint64
+}
+
+// R aliases program.R for brevity.
+func rr(i int) program.Reg { return program.R(i) }
+
+// ---- strided / strided64 ----
+
+// stridedVals returns the pattern's backing array (one slice of
+// N*Stride elements per worker; workers read every Stride'th element).
+func stridedElems(p Pattern) int { return p.Workers * p.N * p.Stride }
+
+// stridedData places the input segment and returns the expected total.
+func (g *genCtx) stridedData(i int, p Pattern) int64 {
+	rng := patternRand(g.seed, p.Tag)
+	elems := stridedElems(p)
+	var total int64
+	if p.Kind == KStrided64 {
+		vals := make([]int64, elems)
+		for k := range vals {
+			vals[k] = int64(rng.Uint32() & 0x7FFFFFFF)
+		}
+		for w := 0; w < p.Workers; w++ {
+			for k := 0; k < p.N; k++ {
+				total += vals[w*p.N*p.Stride+k*p.Stride]
+			}
+		}
+		g.b.Segment(inBase(i), int64Segment(vals))
+		return total
+	}
+	vals := randVals32(rng, elems)
+	for w := 0; w < p.Workers; w++ {
+		for k := 0; k < p.N; k++ {
+			total += int64(vals[w*p.N*p.Stride+k*p.Stride])
+		}
+	}
+	g.b.Segment(inBase(i), int32Segment(vals))
+	return total
+}
+
+// stridedWorker emits the worker template. mail=true makes the worker
+// post its sum straight to mailbox slot i (single-worker patterns);
+// otherwise it stores the partial into joiner frame slot frame[3].
+// Frame: 0=byteBase 1=count (+ 2=joinFP 3=slotIdx when joining).
+func (g *genCtx) stridedWorker(i int, p Pattern, mail bool) *program.TB {
+	elem := 4
+	if p.Kind == KStrided64 {
+		elem = 8
+	}
+	step := int32(p.Stride * elem)
+	t := g.b.Template(fmt.Sprintf("p%d_worker", i))
+	rg := t.RegionChunked(fmt.Sprintf("p%d_slice", i),
+		program.AddrExpr{Terms: []program.AddrTerm{{Slot: 0, Scale: 1}}},
+		program.SizeSlot(1, int64(step), int64(elem)-int64(step)),
+		(p.N-1)*p.Stride*elem+elem, p.Chunk)
+
+	pl := t.PL()
+	pl.Load(rr(1), 0)
+	pl.Load(rr(2), 1)
+	if !mail {
+		pl.Load(rr(3), 2)
+		pl.Load(rr(4), 3)
+	}
+	ex := t.EX()
+	ex.Movi(rr(10), 0)
+	ex.Movi(rr(11), 0)
+	ex.Label("loop")
+	if p.Kind == KStrided64 {
+		ex.Read8Region(rg, rr(12), rr(1), 0)
+	} else {
+		ex.ReadRegion(rg, rr(12), rr(1), 0)
+	}
+	ex.Add(rr(10), rr(10), rr(12))
+	ex.Addi(rr(1), rr(1), step)
+	ex.Addi(rr(11), rr(11), 1)
+	ex.Blt(rr(11), rr(2), "loop")
+	ps := t.PS()
+	if mail {
+		ps.StoreMailbox(rr(10), rr(13), i)
+	} else {
+		ps.Storex(rr(10), rr(3), rr(4))
+	}
+	ps.Ffree()
+	ps.Stop()
+	return t
+}
+
+// joiner emits a W-input summing joiner that mails the total to slot i.
+func (g *genCtx) joiner(i, workers int) *program.TB {
+	t := g.b.Template(fmt.Sprintf("p%d_join", i))
+	pl := t.PL()
+	pl.Movi(rr(1), 0)
+	pl.Movi(rr(2), 0)
+	pl.Movi(rr(3), int32(workers))
+	pl.Label("sum")
+	pl.Loadx(rr(4), rr(2))
+	pl.Add(rr(1), rr(1), rr(4))
+	pl.Addi(rr(2), rr(2), 1)
+	pl.Blt(rr(2), rr(3), "sum")
+	ps := t.PS()
+	ps.StoreMailbox(rr(1), rr(5), i)
+	ps.Ffree()
+	ps.Stop()
+	return t
+}
+
+func (g *genCtx) spawnStrided(ps *program.Asm, i int, p Pattern) int64 {
+	total := g.stridedData(i, p)
+	elem := 4
+	if p.Kind == KStrided64 {
+		elem = 8
+	}
+	if p.Workers == 1 {
+		worker := g.stridedWorker(i, p, true)
+		ps.Falloc(rr(1), worker, 2)
+		ps.Movi(rr(2), int32(inBase(i)))
+		ps.Store(rr(2), rr(1), 0)
+		ps.Movi(rr(3), int32(p.N))
+		ps.Store(rr(3), rr(1), 1)
+		return total
+	}
+	worker := g.stridedWorker(i, p, false)
+	join := g.joiner(i, p.Workers)
+	perBytes := int32(p.N * p.Stride * elem)
+	ps.Falloc(rr(1), join, p.Workers)
+	ps.Movi(rr(2), 0)                // w
+	ps.Movi(rr(3), int32(p.Workers)) // W
+	ps.Movi(rr(4), perBytes)         // per-worker bytes
+	ps.Movi(rr(5), int32(inBase(i))) // base
+	ps.Movi(rr(6), int32(p.N))       // count
+	ps.Label(fmt.Sprintf("p%d_fork", i))
+	ps.Falloc(rr(7), worker, 4)
+	ps.Mul(rr(8), rr(2), rr(4))
+	ps.Add(rr(9), rr(5), rr(8))
+	ps.Store(rr(9), rr(7), 0)
+	ps.Store(rr(6), rr(7), 1)
+	ps.Store(rr(1), rr(7), 2)
+	ps.Store(rr(2), rr(7), 3)
+	ps.Addi(rr(2), rr(2), 1)
+	ps.Blt(rr(2), rr(3), fmt.Sprintf("p%d_fork", i))
+	return total
+}
+
+// ---- gather ----
+
+func (g *genCtx) spawnGather(ps *program.Asm, i int, p Pattern) int64 {
+	rng := patternRand(g.seed, p.Tag)
+	data := randVals32(rng, gatherTableLen)
+	idx := make([]int32, p.Workers*p.N)
+	var total int64
+	for k := range idx {
+		idx[k] = int32(rng.Intn(gatherTableLen))
+	}
+	for _, ix := range idx {
+		total += int64(data[ix])
+	}
+	g.b.Segment(inBase(i), int32Segment(idx))
+	g.b.Segment(auxBase(i), int32Segment(data))
+
+	mail := p.Workers == 1
+	t := g.b.Template(fmt.Sprintf("p%d_gather", i))
+	idxRg := t.RegionChunked(fmt.Sprintf("p%d_idx", i),
+		program.AddrExpr{Terms: []program.AddrTerm{{Slot: 0, Scale: 1}}},
+		program.SizeSlot(1, 4, 0), p.N*4, p.Chunk)
+	dataRg := t.RegionChunked(fmt.Sprintf("p%d_table", i),
+		program.AddrExpr{Const: auxBase(i)},
+		program.SizeConst(gatherTableLen*4), gatherTableLen*4, p.Chunk)
+
+	pl := t.PL()
+	pl.Load(rr(1), 0)
+	pl.Load(rr(2), 1)
+	if !mail {
+		pl.Load(rr(3), 2)
+		pl.Load(rr(4), 3)
+	}
+	ex := t.EX()
+	ex.Movi(rr(10), 0)
+	ex.Movi(rr(11), 0)
+	ex.Movi(rr(13), int32(auxBase(i)))
+	ex.Label("loop")
+	ex.ReadRegion(idxRg, rr(12), rr(1), 0)
+	ex.Shli(rr(14), rr(12), 2)
+	ex.Add(rr(14), rr(13), rr(14))
+	ex.ReadRegion(dataRg, rr(15), rr(14), 0)
+	ex.Add(rr(10), rr(10), rr(15))
+	ex.Addi(rr(1), rr(1), 4)
+	ex.Addi(rr(11), rr(11), 1)
+	ex.Blt(rr(11), rr(2), "loop")
+	tps := t.PS()
+	if mail {
+		tps.StoreMailbox(rr(10), rr(16), i)
+	} else {
+		tps.Storex(rr(10), rr(3), rr(4))
+	}
+	tps.Ffree()
+	tps.Stop()
+
+	if mail {
+		ps.Falloc(rr(1), t, 2)
+		ps.Movi(rr(2), int32(inBase(i)))
+		ps.Store(rr(2), rr(1), 0)
+		ps.Movi(rr(3), int32(p.N))
+		ps.Store(rr(3), rr(1), 1)
+		return total
+	}
+	join := g.joiner(i, p.Workers)
+	ps.Falloc(rr(1), join, p.Workers)
+	ps.Movi(rr(2), 0)
+	ps.Movi(rr(3), int32(p.Workers))
+	ps.Movi(rr(4), int32(p.N*4))
+	ps.Movi(rr(5), int32(inBase(i)))
+	ps.Movi(rr(6), int32(p.N))
+	ps.Label(fmt.Sprintf("p%d_fork", i))
+	ps.Falloc(rr(7), t, 4)
+	ps.Mul(rr(8), rr(2), rr(4))
+	ps.Add(rr(9), rr(5), rr(8))
+	ps.Store(rr(9), rr(7), 0)
+	ps.Store(rr(6), rr(7), 1)
+	ps.Store(rr(1), rr(7), 2)
+	ps.Store(rr(2), rr(7), 3)
+	ps.Addi(rr(2), rr(2), 1)
+	ps.Blt(rr(2), rr(3), fmt.Sprintf("p%d_fork", i))
+	return total
+}
+
+// ---- pointer chase ----
+
+func (g *genCtx) spawnChase(ps *program.Asm, i int, p Pattern) int64 {
+	rng := patternRand(g.seed, p.Tag)
+	n := p.N
+	vals := randVals32(rng, n)
+	// Random placement: nodes live at auxBase + perm[k]*8, chained in
+	// visit order k=0..n-1 so the address sequence is data-dependent.
+	perm := make([]int, n)
+	for k := range perm {
+		perm[k] = k
+	}
+	for k := n - 1; k > 0; k-- {
+		j := rng.Intn(k + 1)
+		perm[k], perm[j] = perm[j], perm[k]
+	}
+	nodes := make([]int32, 2*n)
+	var total int64
+	for k := 0; k < n; k++ {
+		total += int64(vals[k])
+		next := int64(0)
+		if k+1 < n {
+			next = auxBase(i) + int64(perm[k+1])*8
+		}
+		nodes[2*perm[k]] = vals[k]
+		nodes[2*perm[k]+1] = int32(next)
+	}
+	g.b.Segment(auxBase(i), int32Segment(nodes))
+
+	t := g.b.Template(fmt.Sprintf("p%d_chase", i))
+	pl := t.PL()
+	pl.Load(rr(1), 0)
+	pl.Load(rr(2), 1)
+	ex := t.EX()
+	ex.Movi(rr(10), 0)
+	ex.Movi(rr(11), 0)
+	ex.Label("loop")
+	ex.Read(rr(12), rr(1), 0) // blocking, untagged: not decoupled
+	ex.Add(rr(10), rr(10), rr(12))
+	ex.Read(rr(1), rr(1), 4)
+	ex.Addi(rr(11), rr(11), 1)
+	ex.Blt(rr(11), rr(2), "loop")
+	tps := t.PS()
+	tps.StoreMailbox(rr(10), rr(13), i)
+	tps.Ffree()
+	tps.Stop()
+
+	head := auxBase(i) + int64(perm[0])*8
+	ps.Falloc(rr(1), t, 2)
+	ps.Movi(rr(2), int32(head))
+	ps.Store(rr(2), rr(1), 0)
+	ps.Movi(rr(3), int32(n))
+	ps.Store(rr(3), rr(1), 1)
+	return total
+}
+
+// ---- reduction tree ----
+
+func (g *genCtx) spawnReduce(ps *program.Asm, i int, p Pattern) int64 {
+	rng := patternRand(g.seed, p.Tag)
+	leaves := 1 << p.Depth
+	vals := randVals32(rng, leaves*p.N)
+	var total int64
+	for _, v := range vals {
+		total += int64(v)
+	}
+	g.b.Segment(inBase(i), int32Segment(vals))
+
+	// Leaf: frame 0=byteBase 1=count 2=parentFP 3=slotIdx.
+	leaf := g.b.Template(fmt.Sprintf("p%d_leaf", i))
+	rg := leaf.RegionChunked(fmt.Sprintf("p%d_slice", i),
+		program.AddrExpr{Terms: []program.AddrTerm{{Slot: 0, Scale: 1}}},
+		program.SizeSlot(1, 4, 0), p.N*4, p.Chunk)
+	pl := leaf.PL()
+	pl.Load(rr(1), 0)
+	pl.Load(rr(2), 1)
+	pl.Load(rr(3), 2)
+	pl.Load(rr(4), 3)
+	ex := leaf.EX()
+	ex.Movi(rr(10), 0)
+	ex.Movi(rr(11), 0)
+	ex.Label("loop")
+	ex.ReadRegion(rg, rr(12), rr(1), 0)
+	ex.Add(rr(10), rr(10), rr(12))
+	ex.Addi(rr(1), rr(1), 4)
+	ex.Addi(rr(11), rr(11), 1)
+	ex.Blt(rr(11), rr(2), "loop")
+	lps := leaf.PS()
+	lps.Storex(rr(10), rr(3), rr(4))
+	lps.Ffree()
+	lps.Stop()
+
+	// Top combiner: frame 0,1 = child partials; mails the total.
+	top := g.b.Template(fmt.Sprintf("p%d_top", i))
+	tpl := top.PL()
+	tpl.Load(rr(1), 0)
+	tpl.Load(rr(2), 1)
+	top.EX().Add(rr(3), rr(1), rr(2))
+	tps := top.PS()
+	tps.StoreMailbox(rr(3), rr(4), i)
+	tps.Ffree()
+	tps.Stop()
+
+	// Inner combiner (depth 2): frame 0,1 = partials, 2=parentFP,
+	// 3=slotIdx.
+	var inner *program.TB
+	if p.Depth == 2 {
+		inner = g.b.Template(fmt.Sprintf("p%d_inner", i))
+		ipl := inner.PL()
+		ipl.Load(rr(1), 0)
+		ipl.Load(rr(2), 1)
+		ipl.Load(rr(3), 2)
+		ipl.Load(rr(4), 3)
+		inner.EX().Add(rr(5), rr(1), rr(2))
+		ips := inner.PS()
+		ips.Storex(rr(5), rr(3), rr(4))
+		ips.Ffree()
+		ips.Stop()
+	}
+
+	// Spawn (unrolled): top, then inner layer, then leaves.
+	rTop, rOne := rr(1), rr(2)
+	ps.Falloc(rTop, top, 2)
+	ps.Movi(rOne, 1)
+	parents := []program.Reg{rTop}
+	if p.Depth == 2 {
+		rIL, rIR := rr(3), rr(4)
+		ps.Falloc(rIL, inner, 4)
+		ps.Store(rTop, rIL, 2)
+		ps.Store(program.R0, rIL, 3)
+		ps.Falloc(rIR, inner, 4)
+		ps.Store(rTop, rIR, 2)
+		ps.Store(rOne, rIR, 3)
+		parents = []program.Reg{rIL, rIR}
+	}
+	for l := 0; l < leaves; l++ {
+		parent := parents[l/2]
+		slotReg := program.R0
+		if l%2 == 1 {
+			slotReg = rOne
+		}
+		ps.Falloc(rr(5), leaf, 4)
+		ps.Movi(rr(6), int32(inBase(i)+int64(l*p.N*4)))
+		ps.Store(rr(6), rr(5), 0)
+		ps.Movi(rr(7), int32(p.N))
+		ps.Store(rr(7), rr(5), 1)
+		ps.Store(parent, rr(5), 2)
+		ps.Store(slotReg, rr(5), 3)
+	}
+	return total
+}
+
+// ---- producer/consumer pipeline ----
+
+func (g *genCtx) spawnPipeline(ps *program.Asm, i int, p Pattern) (int64, []memExpect) {
+	rng := patternRand(g.seed, p.Tag)
+	vals := randVals32(rng, p.N)
+	var total int64
+	for _, v := range vals {
+		total += int64(v)
+	}
+	// The consumer WRITEs the 32-bit truncated total and mails the
+	// read-back value, so the token is the sign-extended low word.
+	out := int64(int32(total))
+	g.b.Segment(inBase(i), int32Segment(vals))
+	nc := p.N / pipeStages
+
+	// Consumer: frame 0..3 = partials (from producer), 4 = outAddr
+	// (from root). SC = 5.
+	cons := g.b.Template(fmt.Sprintf("p%d_cons", i))
+	cpl := cons.PL()
+	for s := 0; s < pipeStages; s++ {
+		cpl.Load(rr(1+s), s)
+	}
+	cpl.Load(rr(5), pipeStages)
+	cex := cons.EX()
+	cex.Add(rr(6), rr(1), rr(2))
+	cex.Add(rr(6), rr(6), rr(3))
+	cex.Add(rr(6), rr(6), rr(4))
+	cex.Write(rr(6), rr(5), 0)
+	cex.Read(rr(7), rr(5), 0) // read-back: fences the write, feeds the token
+	cps := cons.PS()
+	cps.StoreMailbox(rr(7), rr(8), i)
+	cps.Ffree()
+	cps.Stop()
+
+	// Producer: frame 0=byteBase 1=consFP. SC = 2.
+	prod := g.b.Template(fmt.Sprintf("p%d_prod", i))
+	prg := prod.RegionChunked(fmt.Sprintf("p%d_in", i),
+		program.AddrExpr{Terms: []program.AddrTerm{{Slot: 0, Scale: 1}}},
+		program.SizeConst(int64(p.N*4)), p.N*4, p.Chunk)
+	ppl := prod.PL()
+	ppl.Load(rr(1), 0)
+	ppl.Load(rr(2), 1)
+	pex := prod.EX()
+	for s := 0; s < pipeStages; s++ {
+		sum := rr(10 + s)
+		pex.Movi(sum, 0)
+		pex.Movi(rr(20), 0)
+		pex.Movi(rr(21), int32(nc))
+		lbl := fmt.Sprintf("chunk%d", s)
+		pex.Label(lbl)
+		pex.ReadRegion(prg, rr(22), rr(1), 0)
+		pex.Add(sum, sum, rr(22))
+		pex.Addi(rr(1), rr(1), 4)
+		pex.Addi(rr(20), rr(20), 1)
+		pex.Blt(rr(20), rr(21), lbl)
+	}
+	pps := prod.PS()
+	for s := 0; s < pipeStages; s++ {
+		pps.Store(rr(10+s), rr(2), s)
+	}
+	pps.Ffree()
+	pps.Stop()
+
+	ps.Falloc(rr(1), cons, pipeStages+1)
+	ps.Movi(rr(2), int32(outBase(i)))
+	ps.Store(rr(2), rr(1), pipeStages)
+	ps.Falloc(rr(3), prod, 2)
+	ps.Movi(rr(4), int32(inBase(i)))
+	ps.Store(rr(4), rr(3), 0)
+	ps.Store(rr(1), rr(3), 1)
+	return out, []memExpect{{addr: outBase(i), width: 4, want: out}}
+}
+
+// ---- stencil ----
+
+func (g *genCtx) spawnStencil(ps *program.Asm, i int, p Pattern) (int64, []memExpect) {
+	rng := patternRand(g.seed, p.Tag)
+	n := p.N
+	img := randVals32(rng, n*n)
+	for k := range img {
+		img[k] &= 0xFF
+	}
+	ref := refcheck.Stencil(img, n)
+	var token int64
+	var memExp []memExpect
+	for y := 1; y < n-1; y++ {
+		for x := 1; x < n-1; x++ {
+			v := int64(ref[y*n+x])
+			token += v
+			memExp = append(memExp, memExpect{
+				addr: outBase(i) + int64((y*n+x)*4), width: 4, want: v,
+			})
+		}
+	}
+	g.b.Segment(inBase(i), int32Segment(img))
+
+	// Worker: frame 0=inBase 1=outBase. SC = 2.
+	t := g.b.Template(fmt.Sprintf("p%d_stencil", i))
+	rg := t.RegionChunked(fmt.Sprintf("p%d_img", i),
+		program.AddrExpr{Terms: []program.AddrTerm{{Slot: 0, Scale: 1}}},
+		program.SizeConst(int64(n*n*4)), n*n*4, p.Chunk)
+	pl := t.PL()
+	pl.Load(rr(1), 0)
+	pl.Load(rr(2), 1)
+	ex := t.EX()
+	ex.Movi(rr(22), 0) // token accumulator
+	ex.Movi(rr(10), 1) // y
+	ex.Movi(rr(11), int32(n-1))
+	ex.Label("yloop")
+	ex.Movi(rr(13), 1) // x
+	ex.Label("xloop")
+	ex.Muli(rr(14), rr(10), int32(n))
+	ex.Add(rr(14), rr(14), rr(13))
+	ex.Shli(rr(15), rr(14), 2)
+	ex.Add(rr(16), rr(1), rr(15)) // center input address
+	ex.Movi(rr(17), 0)            // acc
+	for dy := 0; dy < 3; dy++ {
+		for dx := 0; dx < 3; dx++ {
+			off := int32(((dy-1)*n + (dx - 1)) * 4)
+			ex.ReadRegion(rg, rr(18), rr(16), off)
+			ex.Muli(rr(19), rr(18), refcheck.StencilWeights[dy][dx])
+			ex.Add(rr(17), rr(17), rr(19))
+		}
+	}
+	ex.Srai(rr(17), rr(17), 4)
+	ex.Add(rr(20), rr(2), rr(15)) // output address
+	ex.Write(rr(17), rr(20), 0)
+	ex.Read(rr(21), rr(20), 0) // read-back fence
+	ex.Add(rr(22), rr(22), rr(21))
+	ex.Addi(rr(13), rr(13), 1)
+	ex.Blt(rr(13), rr(11), "xloop")
+	ex.Addi(rr(10), rr(10), 1)
+	ex.Blt(rr(10), rr(11), "yloop")
+	tps := t.PS()
+	tps.StoreMailbox(rr(22), rr(23), i)
+	tps.Ffree()
+	tps.Stop()
+
+	ps.Falloc(rr(1), t, 2)
+	ps.Movi(rr(2), int32(inBase(i)))
+	ps.Store(rr(2), rr(1), 0)
+	ps.Movi(rr(3), int32(outBase(i)))
+	ps.Store(rr(3), rr(1), 1)
+	return token, memExp
+}

@@ -1,0 +1,287 @@
+// Package synth is the scenario-synthesis and differential-fuzzing
+// subsystem: it generates DTA programs the hand-built workloads never
+// cover, computes their expected results with a fast untimed oracle,
+// runs each scenario three ways (oracle, simulated original, simulated
+// prefetch-transformed) and asserts byte-identical outputs plus machine
+// invariants, and shrinks failing scenarios to minimal reproducers.
+//
+// Everything is seed-deterministic: the same seed always produces the
+// same scenario, the same program, the same inputs and the same
+// expected outputs, on every machine. That property is what lets the
+// pinned corpora (CorpusSeeds) act as regression tests for the prefetch
+// transformer, lets synth scenarios be first-class experiments with
+// content-addressed run keys, and makes every fuzzing failure
+// reproducible from its seed alone.
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// GenVersion names the generator semantics. Bump it whenever a change
+// to scenario derivation or program generation can alter the program a
+// seed produces — run keys for synth/* experiments include it, so
+// cached results stop matching instead of serving results for programs
+// that no longer exist.
+const GenVersion = "synthgen/1"
+
+// CorpusSize is the number of pinned corpus seeds (1..CorpusSize)
+// registered as synth/<seed> workloads and experiments.
+const CorpusSize = 32
+
+// CorpusSeeds returns the pinned corpus seeds.
+func CorpusSeeds() []uint64 {
+	out := make([]uint64, CorpusSize)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+// ExperimentID renders the registry/experiment name for a corpus seed.
+func ExperimentID(seed uint64) string { return fmt.Sprintf("synth/%04d", seed) }
+
+// Kind enumerates the access/communication patterns the generator can
+// compose. Each exercises a shape the hand-built workloads never mix.
+type Kind uint8
+
+const (
+	// KStrided: W workers each sum every stride'th int32 of a slice
+	// through a prefetch region, a joiner combines the partials.
+	KStrided Kind = iota
+	// KStrided64: KStrided over int64 elements (READ8 path).
+	KStrided64
+	// KGather: workers read an index slice through one region and
+	// gather from a shared data table through a second region
+	// (multi-region frames, data-dependent addressing into a region).
+	KGather
+	// KChase: a single worker follows a pointer chain with blocking
+	// untagged READs (the non-decoupled path the paper leaves alone).
+	KChase
+	// KReduce: a binary tree of threads (depth 1..2); leaves read
+	// region slices, inner nodes combine partials frame-to-frame.
+	KReduce
+	// KPipeline: a producer reads a region and streams partials into a
+	// consumer's frame; the consumer WRITEs the total to main memory,
+	// reads it back, and mails the read-back value.
+	KPipeline
+	// KStencil: a 3x3 Gaussian blur over a tiny image through one
+	// whole-image region, WRITEing the interior and mailing a checksum
+	// of read-back outputs (shares semantics with refcheck.Stencil).
+	KStencil
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KStrided:
+		return "strided"
+	case KStrided64:
+		return "strided64"
+	case KGather:
+		return "gather"
+	case KChase:
+		return "chase"
+	case KReduce:
+		return "reduce"
+	case KPipeline:
+		return "pipeline"
+	case KStencil:
+		return "stencil"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Pattern parameterises one generated activity. Fields not meaningful
+// for a kind are ignored (and zeroed by Normalize so that equal
+// scenarios compare equal).
+type Pattern struct {
+	Kind    Kind
+	N       int // per-worker elements / hops / leaf slice / image dim
+	Workers int // fan-out (power of two)
+	Stride  int // strided kinds: element stride
+	Depth   int // reduce: tree depth (1 or 2)
+	Chunk   int // region ChunkBytes (0 = single DMA command)
+	// Tag identifies the pattern's input-data stream. Scenario.Normalize
+	// assigns position-based tags to untagged patterns; shrink steps
+	// preserve tags, so dropping one pattern never changes the data of
+	// the survivors (a data-dependent failure stays reproducible while
+	// its neighbours are removed).
+	Tag int
+}
+
+// Scenario is one complete generated test case: a machine size plus a
+// list of patterns that run concurrently in one program, each posting
+// one mailbox token.
+type Scenario struct {
+	Seed     uint64
+	SPEs     int
+	Patterns []Pattern
+}
+
+// Summary renders a compact human-readable description.
+func (s Scenario) Summary() string {
+	var parts []string
+	for _, p := range s.Patterns {
+		d := fmt.Sprintf("%s(n=%d", p.Kind, p.N)
+		if p.Workers > 1 {
+			d += fmt.Sprintf(",w=%d", p.Workers)
+		}
+		if p.Stride > 1 {
+			d += fmt.Sprintf(",s=%d", p.Stride)
+		}
+		if p.Depth > 1 {
+			d += fmt.Sprintf(",d=%d", p.Depth)
+		}
+		if p.Chunk > 0 {
+			d += fmt.Sprintf(",c=%d", p.Chunk)
+		}
+		parts = append(parts, d+")")
+	}
+	return fmt.Sprintf("seed=%d spes=%d %s", s.Seed, s.SPEs, strings.Join(parts, "+"))
+}
+
+// clampPow2 rounds v into [1, max] and down to a power of two.
+func clampPow2(v, max int) int {
+	if v < 1 {
+		v = 1
+	}
+	if v > max {
+		v = max
+	}
+	p := 1
+	for p*2 <= v {
+		p *= 2
+	}
+	return p
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Normalize forces every field into the generator's supported envelope,
+// so that any Pattern — random, hand-written, or produced by a shrink
+// step — generates a valid program. It is idempotent.
+func (p Pattern) Normalize() Pattern {
+	q := Pattern{Kind: p.Kind, Tag: p.Tag}
+	switch p.Kind {
+	case KStrided, KStrided64:
+		q.Workers = clampPow2(p.Workers, 4)
+		q.N = clamp(p.N, 1, 32)
+		q.Stride = clamp(p.Stride, 1, 4)
+		q.Chunk = clampChunk(p.Chunk)
+	case KGather:
+		q.Workers = clampPow2(p.Workers, 4)
+		q.N = clamp(p.N, 1, 16)
+		q.Chunk = clampChunk(p.Chunk)
+	case KChase:
+		q.Workers = 1
+		q.N = clamp(p.N, 1, 16)
+	case KReduce:
+		q.Workers = 1
+		q.Depth = clamp(p.Depth, 1, 2)
+		q.N = clamp(p.N, 1, 8)
+		q.Chunk = clampChunk(p.Chunk)
+	case KPipeline:
+		q.Workers = 1
+		// N is split into pipeStages chunks; keep it a multiple.
+		q.N = clamp(p.N, pipeStages, 32)
+		q.N -= q.N % pipeStages
+		q.Chunk = clampChunk(p.Chunk)
+	case KStencil:
+		q.Workers = 1
+		q.N = clamp(p.N, 4, 6)
+		q.Chunk = clampChunk(p.Chunk)
+	default:
+		// Unknown kinds normalise to the smallest strided pattern.
+		return Pattern{Kind: KStrided, N: 1, Workers: 1, Stride: 1, Tag: p.Tag}
+	}
+	return q
+}
+
+func clampChunk(c int) int {
+	switch {
+	case c <= 0:
+		return 0
+	case c <= 16:
+		return 16
+	default:
+		return 64
+	}
+}
+
+// Normalize normalises every pattern and the machine size, and assigns
+// position-based data-stream tags to patterns that lack one.
+func (s Scenario) Normalize() Scenario {
+	out := Scenario{Seed: s.Seed, SPEs: clampPow2(s.SPEs, 4)}
+	if len(s.Patterns) == 0 {
+		out.Patterns = []Pattern{{Kind: KStrided, N: 1, Workers: 1, Stride: 1, Tag: 1}}
+		return out
+	}
+	for i, p := range s.Patterns {
+		q := p.Normalize()
+		if q.Tag == 0 {
+			q.Tag = i + 1
+		}
+		out.Patterns = append(out.Patterns, q)
+	}
+	return out
+}
+
+// FromSeed derives a scenario deterministically from a seed: 1-3
+// patterns with randomised kinds and parameters on a 1/2/4-SPE machine.
+// The derivation is pinned by GenVersion; changing it is a generator
+// bump.
+func FromSeed(seed uint64) Scenario {
+	rng := sim.NewRand(seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+	sc := Scenario{
+		Seed: seed,
+		SPEs: 1 << rng.Intn(3),
+	}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		p := Pattern{
+			Kind:    Kind(rng.Intn(int(numKinds))),
+			N:       1 + rng.Intn(32),
+			Workers: 1 << rng.Intn(3),
+			Stride:  1 + rng.Intn(4),
+			Depth:   1 + rng.Intn(2),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.Chunk = 0
+		case 1:
+			p.Chunk = 16
+		default:
+			p.Chunk = 64
+		}
+		sc.Patterns = append(sc.Patterns, p)
+	}
+	return sc.Normalize()
+}
+
+// ScenarioFor derives the scenario for a pinned corpus seed, salted by
+// the run's workload input seed (harness Options.Seed): the salt varies
+// the drawn scenario, so sweeping seeds explores fresh programs while
+// every (corpus seed, salt) pair stays fully deterministic. The
+// harness default salt reproduces FromSeed exactly.
+func ScenarioFor(corpusSeed, salt uint64) Scenario {
+	if salt == DefaultSalt {
+		return FromSeed(corpusSeed)
+	}
+	return FromSeed(corpusSeed ^ (salt * 0x2545F4914F6CDD1D))
+}
+
+// DefaultSalt is the harness default input seed (Options.Seed), under
+// which ScenarioFor(s, DefaultSalt) == FromSeed(s).
+const DefaultSalt = 42

@@ -1,0 +1,182 @@
+package synth
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/asm"
+)
+
+// Shrinking: given a failing scenario, greedily try smaller scenarios
+// until no reduction still fails, then report the minimum together with
+// an asm.Format dump of the offending program. Reductions operate on
+// the scenario spec (not raw instructions), so every candidate is a
+// valid generator output and the final reproducer regenerates from its
+// spec alone.
+
+// shrinkCandidates proposes strictly smaller scenarios, most aggressive
+// first (dropping whole patterns, collapsing kinds) so the greedy loop
+// converges in few probes.
+func shrinkCandidates(sc Scenario) []Scenario {
+	var out []Scenario
+	emit := func(s Scenario) { out = append(out, s.Normalize()) }
+
+	// Drop each pattern.
+	if len(sc.Patterns) > 1 {
+		for i := range sc.Patterns {
+			c := Scenario{Seed: sc.Seed, SPEs: sc.SPEs}
+			c.Patterns = append(c.Patterns, sc.Patterns[:i]...)
+			c.Patterns = append(c.Patterns, sc.Patterns[i+1:]...)
+			emit(c)
+		}
+	}
+	// Convert composite kinds to the simplest one that still exercises
+	// a prefetched region.
+	for i, p := range sc.Patterns {
+		if p.Kind != KStrided {
+			c := sc.clone()
+			c.Patterns[i] = Pattern{Kind: KStrided, N: p.N, Workers: p.Workers, Stride: 1, Chunk: p.Chunk, Tag: p.Tag}
+			emit(c)
+		}
+	}
+	// Per-pattern parameter reductions.
+	for i, p := range sc.Patterns {
+		reduce := func(f func(*Pattern)) {
+			c := sc.clone()
+			f(&c.Patterns[i])
+			emit(c)
+		}
+		if p.N > 1 {
+			reduce(func(q *Pattern) { q.N /= 2 })
+			reduce(func(q *Pattern) { q.N = 1 })
+		}
+		if p.Workers > 1 {
+			reduce(func(q *Pattern) { q.Workers /= 2 })
+			reduce(func(q *Pattern) { q.Workers = 1 })
+		}
+		if p.Stride > 1 {
+			reduce(func(q *Pattern) { q.Stride = 1 })
+		}
+		if p.Depth > 1 {
+			reduce(func(q *Pattern) { q.Depth = 1 })
+		}
+		if p.Chunk > 0 {
+			reduce(func(q *Pattern) { q.Chunk = 0 })
+		}
+	}
+	if sc.SPEs > 1 {
+		c := sc.clone()
+		c.SPEs = 1
+		emit(c)
+	}
+	return out
+}
+
+func (s Scenario) clone() Scenario {
+	c := Scenario{Seed: s.Seed, SPEs: s.SPEs}
+	c.Patterns = append([]Pattern(nil), s.Patterns...)
+	return c
+}
+
+func (s Scenario) equal(t Scenario) bool {
+	if s.Seed != t.Seed || s.SPEs != t.SPEs || len(s.Patterns) != len(t.Patterns) {
+		return false
+	}
+	for i := range s.Patterns {
+		if s.Patterns[i] != t.Patterns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShrinkResult is a minimised failing scenario.
+type ShrinkResult struct {
+	Original Scenario
+	Minimal  Scenario
+	Err      *DivergenceError // the minimal scenario's failure
+	Probes   int              // candidate checks performed
+	CodeLen  int              // instruction count of the minimal program
+}
+
+// Shrink minimises a failing scenario: it re-checks candidates with the
+// same options and keeps any strictly smaller scenario that still
+// fails (not necessarily with the same message — any divergence is a
+// bug worth keeping). The input must fail under opt; if it does not,
+// Shrink returns an error.
+func Shrink(sc Scenario, opt CheckOptions) (*ShrinkResult, error) {
+	sc = sc.Normalize()
+	cur := sc
+	_, err := CheckScenario(cur, opt)
+	if err == nil {
+		return nil, fmt.Errorf("synth: Shrink called on a passing scenario (%s)", sc.Summary())
+	}
+	curErr, ok := err.(*DivergenceError)
+	if !ok {
+		return nil, fmt.Errorf("synth: unexpected check error type: %w", err)
+	}
+
+	probes := 0
+	const maxProbes = 400 // worst case is far below this; a hard stop keeps shrinking bounded
+	for probes < maxProbes {
+		improved := false
+		for _, cand := range shrinkCandidates(cur) {
+			if cand.equal(cur) {
+				continue
+			}
+			probes++
+			if probes >= maxProbes {
+				break
+			}
+			if _, err := CheckScenario(cand, opt); err != nil {
+				if de, ok := err.(*DivergenceError); ok {
+					cur, curErr = cand, de
+					improved = true
+					break
+				}
+				return nil, fmt.Errorf("synth: shrink probe failed unexpectedly: %w", err)
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	codeLen := 0
+	if prog, err := Generate(cur); err == nil {
+		codeLen = prog.CodeLen()
+	}
+	return &ShrinkResult{
+		Original: sc, Minimal: cur, Err: curErr, Probes: probes, CodeLen: codeLen,
+	}, nil
+}
+
+// WriteReproducer renders a self-contained failure report: the minimal
+// scenario spec, the divergence, and asm.Format dumps of the original
+// and (when it transforms cleanly) the prefetched program. The spec
+// line alone reproduces the failure via Generate/CheckScenario.
+func WriteReproducer(w io.Writer, r *ShrinkResult, opt CheckOptions) error {
+	opt = opt.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# synth reproducer (generator %s)\n", GenVersion)
+	fmt.Fprintf(&b, "# original: %s\n", r.Original.Summary())
+	fmt.Fprintf(&b, "# minimal:  %s\n", r.Minimal.Summary())
+	fmt.Fprintf(&b, "# failure:  %s\n", r.Err.Error())
+	fmt.Fprintf(&b, "# spec: seed=%d spes=%d patterns=%+v\n", r.Minimal.Seed, r.Minimal.SPEs, r.Minimal.Patterns)
+	prog, err := Generate(r.Minimal)
+	if err != nil {
+		fmt.Fprintf(&b, "# generate failed: %v\n", err)
+	} else {
+		fmt.Fprintf(&b, "\n# ---- original program (%d instructions) ----\n", prog.CodeLen())
+		b.WriteString(asm.Format(prog))
+		if pfProg, err := opt.Transform(prog); err == nil {
+			fmt.Fprintf(&b, "\n# ---- transformed program (%d instructions) ----\n", pfProg.CodeLen())
+			b.WriteString(asm.Format(pfProg))
+		} else {
+			fmt.Fprintf(&b, "\n# transform failed: %v\n", err)
+		}
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}

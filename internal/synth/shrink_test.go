@@ -1,0 +1,95 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prefetch"
+	"repro/internal/program"
+)
+
+// buggyTransform wraps the real transformer and then corrupts the first
+// rewritten local-store access by shifting its offset one word — the
+// classic off-by-one a region-offset bug would produce. The injected
+// defect only manifests in transformed execution, exactly the class of
+// bug the differential checker exists to catch.
+func buggyTransform(p *program.Program) (*program.Program, error) {
+	q, err := prefetch.Transform(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range q.Templates {
+		for k := program.BlockKind(0); k < program.NumBlocks; k++ {
+			for i := range t.Blocks[k] {
+				ins := &t.Blocks[k][i]
+				if ins.Op == isa.LSRDX || ins.Op == isa.LSRDX8 {
+					ins.Imm += 4
+					return q, nil
+				}
+			}
+		}
+	}
+	return q, nil
+}
+
+// TestInjectedBugCaughtAndShrunk is the subsystem's self-test: a
+// deliberately broken transformer must (a) be caught by the
+// differential corpus and (b) shrink to a reproducer of at most 20
+// instructions whose dump regenerates the failure.
+func TestInjectedBugCaughtAndShrunk(t *testing.T) {
+	opt := CheckOptions{Transform: buggyTransform}
+
+	var failing *DivergenceError
+	var seed uint64
+	for s := uint64(1); s <= corpusSeeds; s++ {
+		if _, err := CheckSeed(s, opt); err != nil {
+			de, ok := err.(*DivergenceError)
+			if !ok {
+				t.Fatalf("seed %d: non-divergence error: %v", s, err)
+			}
+			failing, seed = de, s
+			break
+		}
+	}
+	if failing == nil {
+		t.Fatal("injected transformer bug slipped through the whole corpus")
+	}
+
+	res, err := Shrink(failing.Scenario, opt)
+	if err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if res.CodeLen == 0 || res.CodeLen > 20 {
+		t.Fatalf("seed %d shrank to %d instructions (%s), want <= 20",
+			seed, res.CodeLen, res.Minimal.Summary())
+	}
+	// The minimal scenario must still fail on a fresh check.
+	if _, err := CheckScenario(res.Minimal, opt); err == nil {
+		t.Fatalf("minimal scenario %s does not reproduce", res.Minimal.Summary())
+	}
+	// And it must pass with the real transformer (the bug is in the
+	// transform, not the scenario).
+	if _, err := CheckScenario(res.Minimal, CheckOptions{}); err != nil {
+		t.Fatalf("minimal scenario fails even with the real transformer: %v", err)
+	}
+
+	var b strings.Builder
+	if err := WriteReproducer(&b, res, opt); err != nil {
+		t.Fatalf("reproducer: %v", err)
+	}
+	dump := b.String()
+	for _, want := range []string{".program", "# failure:", "# spec:", ".region"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("reproducer missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestShrinkRejectsPassing: shrinking a healthy scenario is a caller
+// bug and must error rather than loop.
+func TestShrinkRejectsPassing(t *testing.T) {
+	if _, err := Shrink(FromSeed(2), CheckOptions{}); err == nil {
+		t.Fatal("Shrink accepted a passing scenario")
+	}
+}

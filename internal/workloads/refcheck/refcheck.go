@@ -1,0 +1,113 @@
+// Package refcheck holds the pure-Go reference implementations that the
+// workloads' functional checks compare simulated results against. They
+// live in their own package so that every consumer of "what should this
+// program compute" — the hand-built workloads, the synth subsystem's
+// oracle tests, and any future checker — shares one implementation of
+// the tricky semantics (int32 wrap-around through 64-bit registers,
+// arithmetic-shift floor division) instead of re-deriving them.
+package refcheck
+
+import "math/bits"
+
+// MatMul computes C = A x B for n x n row-major int32 matrices with
+// wrap-around int32 arithmetic (matching the SPU's 64-bit registers
+// truncated through 32-bit memory writes).
+func MatMul(a, b []int32, n int) []int32 {
+	c := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for k := 0; k < n; k++ {
+				acc += int64(a[i*n+k]) * int64(b[k*n+j])
+			}
+			c[i*n+j] = int32(acc)
+		}
+	}
+	return c
+}
+
+// Zoom upsamples an n x n image by power-of-two factor f with the
+// benchmark's horizontal-lerp rule: out[y][x] interpolates between
+// in[sy][sx] and the next linear pixel (the input array is padded with
+// zeros past the end, mirroring the workload's memory layout). The
+// fractional division uses an arithmetic shift — floor semantics,
+// exactly as the SPU's SRAI computes it.
+func Zoom(in []int32, n, f int) []int32 {
+	shift := 0
+	for 1<<shift < f {
+		shift++
+	}
+	fn := n * f
+	padded := make([]int32, n*n+2)
+	copy(padded, in)
+	out := make([]int32, fn*fn)
+	for y := 0; y < fn; y++ {
+		sy := y / f
+		for x := 0; x < fn; x++ {
+			sx := x / f
+			p1 := padded[sy*n+sx]
+			p2 := padded[sy*n+sx+1]
+			frac := int32(x % f)
+			out[y*fn+x] = p1 + (p2-p1)*frac>>shift
+		}
+	}
+	return out
+}
+
+// Bitcount returns the bitcnt workload's expected total: each value's
+// bits are counted by five independent methods (byte-table lookup,
+// Kernighan clearing, mask folding, arithmetic pair sums,
+// shift-and-test), so the total is 5x the popcount sum.
+func Bitcount(vals []int32) int64 {
+	var total int64
+	for _, v := range vals {
+		total += 5 * int64(bits.OnesCount32(uint32(v)))
+	}
+	return total
+}
+
+// ByteCountTable is the MiBench-style 256-entry bits-per-byte table.
+func ByteCountTable() []int32 {
+	t := make([]int32, 256)
+	for i := range t {
+		t[i] = int32(bits.OnesCount8(uint8(i)))
+	}
+	return t
+}
+
+// PopcountMasks are the five fold constants read from global memory by
+// the mask-based counting method.
+var PopcountMasks = []int32{
+	0x55555555,
+	0x33333333,
+	0x0F0F0F0F,
+	0x00FF00FF,
+	0x0000FFFF,
+}
+
+// StencilWeights is the 3x3 Gaussian kernel used by the stencil
+// workload (weights sum to 16; outputs are shifted right by 4).
+var StencilWeights = [3][3]int32{
+	{1, 2, 1},
+	{2, 4, 2},
+	{1, 2, 1},
+}
+
+// Stencil blurs the interior of an n x n image with the 3x3 Gaussian
+// kernel (borders stay zero), matching the stencil workload's
+// shift-based arithmetic.
+func Stencil(in []int32, n int) []int32 {
+	out := make([]int32, n*n)
+	for y := 1; y < n-1; y++ {
+		for x := 1; x < n-1; x++ {
+			var acc int32
+			for dy := 0; dy < 3; dy++ {
+				for dx := 0; dx < 3; dx++ {
+					acc += StencilWeights[dy][dx] * in[(y+dy-1)*n+x+dx-1]
+				}
+			}
+			out[y*n+x] = acc >> 4
+		}
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/program"
+	"repro/internal/workloads/refcheck"
 )
 
 func init() {
@@ -16,12 +17,9 @@ func init() {
 	})
 }
 
-// stencilWeights is the 3x3 Gaussian kernel (sum 16; output >> 4).
-var stencilWeights = [3][3]int32{
-	{1, 2, 1},
-	{2, 4, 2},
-	{1, 2, 1},
-}
+// stencilWeights is the 3x3 Gaussian kernel (sum 16; output >> 4),
+// shared with the reference implementation in refcheck.
+var stencilWeights = refcheck.StencilWeights
 
 // buildStencil constructs a banded 3x3 convolution: T workers each blur
 // a band of interior rows, reading their band plus one halo row on each

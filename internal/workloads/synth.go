@@ -1,0 +1,28 @@
+package workloads
+
+import (
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+// The pinned synth corpus is registered alongside the hand-built
+// benchmarks, so generated scenarios are first-class workloads:
+// buildable by name ("synth/0001".."synth/0032"), runnable through the
+// same tooling, and transformable like any other program. Params.Seed
+// salts the scenario derivation (the harness default reproduces the
+// canonical corpus); N/Workers are ignored — a scenario's shape is the
+// generator's business.
+func init() {
+	for _, seed := range synth.CorpusSeeds() {
+		seed := seed
+		register(&Workload{
+			Name: synth.ExperimentID(seed),
+			Description: "generated differential-fuzzing scenario: " +
+				synth.FromSeed(seed).Summary(),
+			DefaultN: 0,
+			Build: func(p Params) (*program.Program, error) {
+				return synth.Generate(synth.ScenarioFor(seed, p.Seed))
+			},
+		})
+	}
+}

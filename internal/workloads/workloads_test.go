@@ -3,12 +3,14 @@ package workloads
 import (
 	"fmt"
 	"math/bits"
+	"strings"
 	"testing"
 
 	"repro/internal/cell"
 	"repro/internal/prefetch"
 	"repro/internal/program"
 	"repro/internal/stats"
+	"repro/internal/synth"
 )
 
 func runProg(t *testing.T, spes int, p *program.Program) *cell.Result {
@@ -49,19 +51,44 @@ func buildBoth(t *testing.T, name string, p Params) (*program.Program, *program.
 }
 
 func TestRegistry(t *testing.T) {
-	names := Names()
 	want := []string{"bitcnt", "mmul", "stencil", "vecsum", "zoom"}
-	if len(names) != len(want) {
-		t.Fatalf("Names = %v", names)
+	var hand []string
+	synthCount := 0
+	for _, n := range Names() {
+		if strings.HasPrefix(n, "synth/") {
+			synthCount++
+			continue
+		}
+		hand = append(hand, n)
+	}
+	if len(hand) != len(want) {
+		t.Fatalf("hand-built names = %v", hand)
 	}
 	for i := range want {
-		if names[i] != want[i] {
-			t.Fatalf("Names = %v, want %v", names, want)
+		if hand[i] != want[i] {
+			t.Fatalf("hand-built names = %v, want %v", hand, want)
 		}
+	}
+	if synthCount != synth.CorpusSize {
+		t.Fatalf("%d synth workloads registered, want %d", synthCount, synth.CorpusSize)
+	}
+	if _, ok := Get(synth.ExperimentID(1)); !ok {
+		t.Fatal("synth corpus workload not addressable by name")
 	}
 	if _, ok := Get("nonesuch"); ok {
 		t.Fatal("Get accepted unknown name")
 	}
+}
+
+// TestSynthWorkloadBuilds: registry-built synth scenarios validate,
+// transform and run like any other workload.
+func TestSynthWorkloadBuilds(t *testing.T) {
+	w, ok := Get(synth.ExperimentID(2))
+	if !ok {
+		t.Fatal("synth/0002 not registered")
+	}
+	_, pf := buildBoth(t, w.Name, Params{Seed: 42})
+	runProg(t, 2, pf)
 }
 
 func TestAutoWorkers(t *testing.T) {
@@ -201,6 +228,9 @@ func TestBitcntScalesWorkersWithThreads(t *testing.T) {
 func TestWorkloadsAcrossSPECounts(t *testing.T) {
 	for _, spes := range []int{1, 4, 8} {
 		for _, name := range Names() {
+			if strings.HasPrefix(name, "synth/") {
+				continue // covered by the synth differential corpus
+			}
 			t.Run(fmt.Sprintf("%s-%dspe", name, spes), func(t *testing.T) {
 				p := Params{N: 8, Workers: 4, Seed: 8}
 				if name == "bitcnt" {
