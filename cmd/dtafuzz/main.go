@@ -32,6 +32,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cell"
+	"repro/internal/profiling"
 	"repro/internal/synth"
 )
 
@@ -53,6 +55,9 @@ func main() {
 		out      = flag.String("out", "synth-repro.txt", "reproducer path (with -shrink)")
 		latency  = flag.Int("latency", 0, "main-memory latency in cycles (0 = paper 150)")
 		verbose  = flag.Bool("v", false, "log every seed, not just failures")
+		diffB    = flag.Bool("diffburst", false, "also run every simulation single-step and fail on any burst fast-path divergence")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -69,8 +74,14 @@ func main() {
 			oneSeedSet = true
 		}
 	})
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
-	opt := synth.CheckOptions{Latency: *latency}
+	opt := synth.CheckOptions{Latency: *latency, DiffBurst: *diffB}
 	if *quick && opt.Latency == 0 {
 		opt.Latency = 60
 	}
@@ -112,8 +123,12 @@ func main() {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Per-worker machine pool: every seed on this goroutine
+			// reuses built machines; pools never cross goroutines.
+			wopt := opt
+			wopt.Pool = cell.NewPool()
 			for seed := range seedCh {
-				rep, err := synth.CheckSeed(seed, opt)
+				rep, err := synth.CheckSeed(seed, wopt)
 				mu.Lock()
 				checked++
 				if err != nil {
@@ -144,6 +159,7 @@ func main() {
 	if failures == 0 {
 		return
 	}
+	stopProf() // the remaining paths exit without running defers
 	if *shrink {
 		de, ok := firstFail.err.(*synth.DivergenceError)
 		if !ok {

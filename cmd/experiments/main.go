@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list] [-parallel n] [-json]
+//	            [-cpuprofile path] [-memprofile path]
 //
 // With no flags it runs the full paper suite at the paper's operating
 // point (8 SPEs, 150-cycle memory, full problem sizes) followed by the
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/profiling"
 	"repro/internal/service"
 )
 
@@ -47,8 +49,16 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "workload input seed")
 		parallel = flag.Int("parallel", 0, "run experiments on n workers (0 = serial shared-cache, <0 = one per CPU)")
 		jsonOut  = flag.Bool("json", false, "emit NDJSON outcomes (one object per experiment) instead of tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, e := range harness.All() {
@@ -109,6 +119,7 @@ func main() {
 			time.Since(start).Seconds(), len(selected), failed)
 	}
 	if failed > 0 {
+		stopProf() // os.Exit skips deferred functions
 		os.Exit(1)
 	}
 }

@@ -172,6 +172,56 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 	return m, nil
 }
 
+// Config returns the machine's configuration (the pool key for reuse).
+func (m *Machine) Config() Config { return m.cfg }
+
+// Reset restores a built machine to its initial state for prog,
+// amortising construction across runs: all components rewind to their
+// post-New state (statistics cleared, queues emptied, stores zeroed —
+// with their backing memory kept), the new program's code and segments
+// are loaded, and the engine reschedules everything at cycle 0. The
+// configuration is fixed at construction; only the program may change.
+// A Reset machine is indistinguishable from a newly built one — the
+// differential tests in internal/cell assert run-for-run identity.
+func (m *Machine) Reset(prog *program.Program) error {
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+	layout, err := planLayout(m.cfg, prog)
+	if err != nil {
+		return err
+	}
+	m.prog = prog
+	m.faultErr = nil
+	if m.cfg.TraceCap > 0 {
+		m.tracer = trace.NewBuffer(m.cfg.TraceCap)
+	}
+	m.net.Reset()
+	m.memory.Reset()
+	for _, spe := range m.spes {
+		spe.LS.Reset()
+		spe.Alloc.Reset(layout.HeapBase, layout.HeapBytes)
+		spe.LSE.Reset(prog, int64(layout.FrameBase))
+		spe.LSE.Trace = m.tracer
+		spe.MFC.Reset()
+		spe.SPU.Reset(prog)
+		if err := loadCode(spe.LS, prog); err != nil {
+			return err
+		}
+	}
+	for _, d := range m.dses {
+		d.Reset(m.cfg.LSE.NumFrames)
+	}
+	m.ppe.Reset(prog.Entry, prog.EntryArgs, prog.ExpectTokens)
+	for _, seg := range prog.Segments {
+		if err := m.memory.Store().WriteBytes(seg.Addr, seg.Data); err != nil {
+			return fmt.Errorf("cell: loading segment at %#x: %w", seg.Addr, err)
+		}
+	}
+	m.eng.Reset()
+	return nil
+}
+
 // planLayout computes the local-store map and checks capacities.
 func planLayout(cfg Config, prog *program.Program) (Layout, error) {
 	codeBytes := (prog.CodeLen()*8 + 255) &^ 255

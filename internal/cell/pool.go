@@ -1,0 +1,51 @@
+package cell
+
+import "repro/internal/program"
+
+// Pool recycles built machines keyed by configuration so repeated runs
+// (parameter sweeps, fuzz campaigns, service workers) amortise machine
+// construction — component graphs, 156 kB local stores, sparse-memory
+// pages — instead of rebuilding them per run. Machines are reset on
+// acquisition, so a released machine's final state (memory image,
+// statistics) stays readable until it is handed out again.
+//
+// A Pool is NOT safe for concurrent use: it is deliberately a
+// per-worker object (one per harness sweep context, dtad worker or
+// dtafuzz goroutine), which keeps every simulation single-threaded and
+// deterministic with zero locking.
+type Pool struct {
+	free map[Config][]*Machine
+}
+
+// NewPool returns an empty machine pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[Config][]*Machine)}
+}
+
+// Get returns a machine for cfg ready to run prog: a pooled machine
+// reset to the program, or a newly built one when none is available.
+func (p *Pool) Get(cfg Config, prog *program.Program) (*Machine, error) {
+	if p == nil {
+		return New(cfg, prog)
+	}
+	if ms := p.free[cfg]; len(ms) > 0 {
+		m := ms[len(ms)-1]
+		p.free[cfg] = ms[:len(ms)-1]
+		if err := m.Reset(prog); err != nil {
+			// The program does not fit this configuration; a fresh
+			// build reports the same validation error.
+			return New(cfg, prog)
+		}
+		return m, nil
+	}
+	return New(cfg, prog)
+}
+
+// Put returns a machine to the pool. The caller must not use it
+// afterwards (its memory image remains valid only until the next Get).
+func (p *Pool) Put(m *Machine) {
+	if p == nil || m == nil {
+		return
+	}
+	p.free[m.cfg] = append(p.free[m.cfg], m)
+}

@@ -50,6 +50,20 @@ func NewPPE(id, dseID int, lseEP func(int) int, net *noc.Network, eng *sim.Engin
 // Name implements sim.Component.
 func (p *PPE) Name() string { return "ppe" }
 
+// Reset rebinds the PPE to a (possibly different) program's TLP
+// activity and clears all collected tokens for machine reuse.
+func (p *PPE) Reset(entryTemplate int, args []int64, expect int) {
+	p.entryTemplate = entryTemplate
+	p.args = args
+	p.expect = expect
+	p.started = false
+	p.rootFP = 0
+	clear(p.tokens)
+	p.order = p.order[:0]
+	p.doneAt = 0
+	p.finished = false
+}
+
 // Attach stores the engine wake handle.
 func (p *PPE) Attach(h *sim.Handle) { p.handle = h }
 

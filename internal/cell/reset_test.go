@@ -1,0 +1,147 @@
+package cell
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// resultsIdentical compares every reported number of two runs.
+func resultsIdentical(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	if want.Cycles != got.Cycles {
+		t.Errorf("%s: cycles fresh=%d reused=%d", label, want.Cycles, got.Cycles)
+	}
+	if !reflect.DeepEqual(want.Tokens, got.Tokens) {
+		t.Errorf("%s: tokens fresh=%v reused=%v", label, want.Tokens, got.Tokens)
+	}
+	if !reflect.DeepEqual(want.Agg, got.Agg) {
+		t.Errorf("%s: aggregate stats differ\nfresh=%+v\nreused=%+v", label, want.Agg, got.Agg)
+	}
+	if !reflect.DeepEqual(want.SPUs, got.SPUs) {
+		t.Errorf("%s: per-SPU stats differ", label)
+	}
+	if !reflect.DeepEqual(want.LSEs, got.LSEs) {
+		t.Errorf("%s: LSE stats differ", label)
+	}
+	if !reflect.DeepEqual(want.MFCs, got.MFCs) {
+		t.Errorf("%s: MFC stats differ", label)
+	}
+	if !reflect.DeepEqual(want.DSEs, got.DSEs) {
+		t.Errorf("%s: DSE stats differ", label)
+	}
+	if want.Mem != got.Mem {
+		t.Errorf("%s: memory stats fresh=%+v reused=%+v", label, want.Mem, got.Mem)
+	}
+	if want.Net != got.Net {
+		t.Errorf("%s: network stats fresh=%+v reused=%+v", label, want.Net, got.Net)
+	}
+}
+
+// TestMachineResetIdentity runs a sequence of different programs on one
+// reused machine and checks every run is indistinguishable — cycles,
+// all statistics, tokens and the final memory image — from the same
+// program on a freshly built machine. This is the contract the machine
+// pool relies on.
+func TestMachineResetIdentity(t *testing.T) {
+	cfg := smallConfig(2)
+	progs := []struct {
+		name string
+		p    *program.Program
+	}{
+		{"loop", progLoop(t, 100)},
+		{"memory", progMemory(t)},
+		{"minimal", progMinimal(t)},
+		{"dma", progManualDMA(t)},
+		{"forkjoin", progForkJoin(t, 6)},
+		{"loop-again", progLoop(t, 100)},
+	}
+
+	reused, err := New(cfg, progs[0].p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i, tc := range progs {
+		if i > 0 {
+			if err := reused.Reset(tc.p); err != nil {
+				t.Fatalf("Reset(%s): %v", tc.name, err)
+			}
+		}
+		got, err := reused.Run()
+		if err != nil {
+			t.Fatalf("reused Run(%s): %v", tc.name, err)
+		}
+		if got.CheckErr != nil {
+			t.Fatalf("reused %s functional check: %v", tc.name, got.CheckErr)
+		}
+
+		fresh, err := New(cfg, tc.p)
+		if err != nil {
+			t.Fatalf("New(%s): %v", tc.name, err)
+		}
+		want, err := fresh.Run()
+		if err != nil {
+			t.Fatalf("fresh Run(%s): %v", tc.name, err)
+		}
+		resultsIdentical(t, want, got, tc.name)
+		if addr, equal := mem.FirstDiff(fresh.MemSparse(), reused.MemSparse()); !equal {
+			t.Errorf("%s: memory image diverges at %#x", tc.name, addr)
+		}
+	}
+}
+
+// TestPoolRecyclesMachines exercises Get/Put across configurations and
+// programs.
+func TestPoolRecyclesMachines(t *testing.T) {
+	pool := NewPool()
+	cfg1, cfg2 := smallConfig(1), smallConfig(2)
+
+	m1, err := pool.Get(cfg1, progMinimal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(m1)
+
+	// Same config: the pooled machine comes back, reset for a new program.
+	m2, err := pool.Get(cfg1, progLoop(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m1 {
+		t.Error("same-config Get did not reuse the pooled machine")
+	}
+	res, err := m2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckErr != nil {
+		t.Fatalf("functional check: %v", res.CheckErr)
+	}
+
+	// Different config while m2 is out: a fresh build.
+	m3, err := pool.Get(cfg2, progMinimal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m2 {
+		t.Error("different-config Get returned the same machine")
+	}
+	if m3.Config() != cfg2 {
+		t.Errorf("Config() = %+v, want cfg2", m3.Config())
+	}
+	pool.Put(m2)
+	pool.Put(m3)
+
+	// A nil pool degrades to plain construction.
+	var nilPool *Pool
+	m4, err := nilPool.Get(cfg1, progMinimal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nilPool.Put(m4)
+}

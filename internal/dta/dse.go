@@ -74,6 +74,18 @@ func (d *DSE) Attach(h *sim.Handle) { d.handle = h }
 // Stats returns a copy of the accumulated statistics.
 func (d *DSE) Stats() DSEStats { return d.stats }
 
+// Reset restores the DSE's free-frame view and clears the request
+// queue and statistics for machine reuse. framesPerPE must match the
+// (unchanged) LSE configuration.
+func (d *DSE) Reset(framesPerPE int) {
+	for i := range d.freeCount {
+		d.freeCount[i] = framesPerPE
+	}
+	d.queue = d.queue[:0]
+	d.rr = 0
+	d.stats = DSEStats{}
+}
+
 // Deliver implements noc.Endpoint.
 func (d *DSE) Deliver(now sim.Cycle, msg noc.Message) {
 	switch msg.Kind {

@@ -103,7 +103,11 @@ type LSE struct {
 	waitDMA   map[int64]*Thread
 	drainWait map[int64]*Thread // STOPped threads with outstanding DMA (write-back PUTs)
 
+	// inbox is a FIFO with an explicit head cursor: Tick consumes from
+	// inboxHead instead of re-slicing (which leaks capacity and
+	// reallocates on every refill of a hot queue).
 	inbox        []lseItem
+	inboxHead    int
 	pendingLocal map[int64]bool
 
 	vfps     map[int]*vfpEntry
@@ -154,6 +158,38 @@ func NewLSE(cfg LSEConfig, id, spe, dseID, ppeID int, net *noc.Network,
 // Name implements sim.Component.
 func (l *LSE) Name() string { return fmt.Sprintf("lse%d", l.spe) }
 
+// Reset returns the LSE to its post-construction state for machine
+// reuse, rebinding it to prog with the frame region at base (both
+// depend on the loaded program's layout). Wiring (callbacks, endpoints,
+// tracer) is kept.
+func (l *LSE) Reset(prog *program.Program, base int64) {
+	l.prog = prog
+	l.base = base
+	for i := range l.slots {
+		l.slots[i] = nil
+	}
+	l.freeSlots = l.freeSlots[:0]
+	for i := l.cfg.NumFrames - 1; i >= 0; i-- {
+		l.freeSlots = append(l.freeSlots, i)
+	}
+	l.threadSeq = 0
+	l.readyQ = l.readyQ[:0]
+	l.pfQ = l.pfQ[:0]
+	l.pfPending = l.pfPending[:0]
+	clear(l.waitDMA)
+	clear(l.drainWait)
+	for i := range l.inbox {
+		l.inbox[i] = lseItem{}
+	}
+	l.inbox = l.inbox[:0]
+	l.inboxHead = 0
+	clear(l.pendingLocal)
+	clear(l.vfps)
+	l.vfpNext = 0
+	clear(l.vfpByReq)
+	l.stats = LSEStats{}
+}
+
 // Attach stores the engine wake handle.
 func (l *LSE) Attach(h *sim.Handle) { l.handle = h }
 
@@ -165,12 +201,12 @@ func (l *LSE) FrameAddr(slot int) int64 { return l.base + int64(slot)*FrameBytes
 
 // CanAccept reports whether the SPU may hand the LSE another operation
 // this cycle (backpressure: the paper's "LSE can't keep up" stalls).
-func (l *LSE) CanAccept() bool { return len(l.inbox) < l.cfg.InboxCap }
+func (l *LSE) CanAccept() bool { return len(l.inbox)-l.inboxHead < l.cfg.InboxCap }
 
 func (l *LSE) push(now sim.Cycle, it lseItem) {
 	l.inbox = append(l.inbox, it)
-	if len(l.inbox) > l.stats.MaxInbox {
-		l.stats.MaxInbox = len(l.inbox)
+	if q := len(l.inbox) - l.inboxHead; q > l.stats.MaxInbox {
+		l.stats.MaxInbox = q
 	}
 	if l.handle != nil {
 		l.handle.Wake(now + 1)
@@ -279,15 +315,24 @@ func (l *LSE) Deliver(now sim.Cycle, msg noc.Message) {
 // Tick processes up to ServiceRate queued operations.
 func (l *LSE) Tick(now sim.Cycle) sim.Cycle {
 	n := l.cfg.ServiceRate
-	for n > 0 && len(l.inbox) > 0 {
-		it := l.inbox[0]
-		l.inbox = l.inbox[1:]
+	for n > 0 && l.inboxHead < len(l.inbox) {
+		it := l.inbox[l.inboxHead]
+		l.inbox[l.inboxHead] = lseItem{} // release thread references
+		l.inboxHead++
 		l.process(now, it)
 		n--
 	}
-	if len(l.inbox) > 0 {
+	if l.inboxHead < len(l.inbox) {
+		if l.inboxHead > 32 && 2*l.inboxHead >= len(l.inbox) {
+			// Compact once the dead prefix dominates a backlogged inbox.
+			kept := copy(l.inbox, l.inbox[l.inboxHead:])
+			l.inbox = l.inbox[:kept]
+			l.inboxHead = 0
+		}
 		return now + 1
 	}
+	l.inbox = l.inbox[:0]
+	l.inboxHead = 0
 	return sim.Never
 }
 
@@ -588,5 +633,5 @@ func (l *LSE) DumpState() string {
 		}
 	}
 	return fmt.Sprintf("frames=%d/%d ready=%d pf=%d waitDMA=%d drain=%d pending-buffer=%d inbox=%d",
-		live, l.cfg.NumFrames, len(l.readyQ), len(l.pfQ), len(l.waitDMA), len(l.drainWait), len(l.pfPending), len(l.inbox))
+		live, l.cfg.NumFrames, len(l.readyQ), len(l.pfQ), len(l.waitDMA), len(l.drainWait), len(l.pfPending), len(l.inbox)-l.inboxHead)
 }

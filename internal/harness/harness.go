@@ -125,17 +125,32 @@ func IDs() []string {
 // Context carries options and a run cache shared across experiments (the
 // same benchmark run feeds several figures, as in the paper).
 type Context struct {
-	Opt   Options
-	cache map[runKey]*cell.Result
-	progs map[progKey]*program.Program
+	Opt Options
+	// SingleStep disables the SPU's burst-execution fast path for every
+	// machine this context builds — the slow path the burst differential
+	// tests compare against. Results are identical either way; only
+	// wall-clock time differs.
+	SingleStep bool
+	cache      map[runKey]*cell.Result
+	progs      map[progKey]*program.Program
+	pool       *cell.Pool
 }
 
-// NewContext prepares a context.
+// NewContext prepares a context with its own machine pool.
 func NewContext(opt Options) *Context {
+	return NewContextWithPool(opt, cell.NewPool())
+}
+
+// NewContextWithPool prepares a context that recycles machines through
+// pool (shared across the contexts of one worker to amortise machine
+// construction over a sweep). The pool must not be shared across
+// goroutines.
+func NewContextWithPool(opt Options, pool *cell.Pool) *Context {
 	return &Context{
 		Opt:   opt.WithDefaults(),
 		cache: make(map[runKey]*cell.Result),
 		progs: make(map[progKey]*program.Program),
+		pool:  pool,
 	}
 }
 
@@ -284,7 +299,10 @@ func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Res
 	if v.frames > 0 {
 		cfg.LSE.NumFrames = v.frames
 	}
-	m, err := cell.New(cfg, prog)
+	if c.SingleStep {
+		cfg.SPU.BurstMax = -1
+	}
+	m, err := c.pool.Get(cfg, prog)
 	if err != nil {
 		return nil, err
 	}
@@ -292,6 +310,10 @@ func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Res
 	if err != nil {
 		return nil, err
 	}
+	// Safe to release immediately: Result copies all statistics, the
+	// trace buffer is replaced (not cleared) on reuse, and harness
+	// experiments never read the machine's memory image.
+	c.pool.Put(m)
 	if res.CheckErr != nil {
 		return nil, fmt.Errorf("functional check: %w", res.CheckErr)
 	}

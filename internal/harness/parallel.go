@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/cell"
 )
 
 // RunResult is one experiment's outcome from a sweep run.
@@ -48,8 +50,12 @@ func Parallel(opt Options, exps []*Experiment, workers int) []RunResult {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// One machine pool per worker: machines are recycled across
+			// the experiments this goroutine runs, never across
+			// goroutines, so simulations stay single-threaded.
+			pool := cell.NewPool()
 			for i := range idxCh {
-				results[i] = runOne(opt, exps[i])
+				results[i] = RunOn(NewContextWithPool(opt, pool), exps[i])
 			}
 		}()
 	}
@@ -62,12 +68,13 @@ func Parallel(opt Options, exps []*Experiment, workers int) []RunResult {
 }
 
 // Serial executes experiments one by one with the same per-experiment
-// isolation as Parallel (fresh Context each), so serial and parallel
-// sweeps are directly comparable run for run.
+// isolation as Parallel (fresh Context each, one shared machine pool),
+// so serial and parallel sweeps are directly comparable run for run.
 func Serial(opt Options, exps []*Experiment) []RunResult {
 	results := make([]RunResult, len(exps))
+	pool := cell.NewPool()
 	for i, e := range exps {
-		results[i] = runOne(opt, e)
+		results[i] = RunOn(NewContextWithPool(opt, pool), e)
 	}
 	return results
 }
@@ -88,9 +95,4 @@ func RunOn(ctx *Context, exp *Experiment) (res RunResult) {
 	}()
 	res.Outcome, res.Err = exp.Run(ctx)
 	return res
-}
-
-// runOne executes a single experiment in a fresh context.
-func runOne(opt Options, exp *Experiment) RunResult {
-	return RunOn(NewContext(opt), exp)
 }

@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExperimentsBurstDifferential reruns paper-figure experiments with
+// the SPU burst fast path disabled (Context.SingleStep) and requires
+// byte-identical outcomes: every metric and every rendered table cell.
+// The burst path may only change wall-clock time, never a reported
+// number.
+func TestExperimentsBurstDifferential(t *testing.T) {
+	ids := []string{
+		"fig5a", "fig5b", "table5", "fig6", "fig7", "fig8", "fig9", "lat1",
+		"ablation-dmalat", "ablation-writeback",
+	}
+	opt := Options{Quick: true}
+	for _, id := range ids {
+		exp, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		fast, err := exp.Run(NewContext(opt))
+		if err != nil {
+			t.Fatalf("%s (burst): %v", id, err)
+		}
+		slowCtx := NewContext(opt)
+		slowCtx.SingleStep = true
+		slow, err := exp.Run(slowCtx)
+		if err != nil {
+			t.Fatalf("%s (single-step): %v", id, err)
+		}
+		if !reflect.DeepEqual(fast.Metrics, slow.Metrics) {
+			t.Errorf("%s: metrics diverge\nburst:       %v\nsingle-step: %v", id, fast.Metrics, slow.Metrics)
+		}
+		if !reflect.DeepEqual(fast.Tables, slow.Tables) {
+			t.Errorf("%s: tables diverge between burst and single-step", id)
+		}
+	}
+}

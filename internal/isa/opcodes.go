@@ -253,6 +253,36 @@ func MustInfo(op Op) Info {
 	return info
 }
 
+// InfoOf returns a pointer to op's metadata without copying the Info
+// struct — the per-instruction hot path of the SPU pipeline. The
+// opcode space is contiguous, so the array bounds check is the whole
+// validity check (out-of-range opcodes panic); use only after
+// validation. The returned Info is shared and must not be mutated.
+func InfoOf(op Op) *Info {
+	return &infos[op]
+}
+
+// Burstable reports whether op touches only SPU-local register state:
+// no local store, main memory, frame, LSE, or MFC interaction, and no
+// result observable by any other machine component. This is the
+// instruction set the SPU's burst-execution fast path may run ahead of
+// the engine clock. Control flow qualifies — branch conditions and
+// targets live entirely in the pipeline.
+func Burstable(op Op) bool {
+	return int(op) < OpCount && burstableOps[op]
+}
+
+var burstableOps = func() [opCount]bool {
+	var t [opCount]bool
+	for op := Op(0); op < opCount; op++ {
+		switch infos[op].Unit {
+		case UnitFX, UnitSH, UnitMUL, UnitDIV, UnitCTL:
+			t[op] = true
+		}
+	}
+	return t
+}()
+
 // ByName resolves a mnemonic to its opcode.
 func ByName(name string) (Op, bool) {
 	op, ok := nameToOp[name]

@@ -27,11 +27,26 @@ func NewAllocator(base, size int) *Allocator {
 	if size < 0 || base < 0 {
 		panic("ls: negative allocator region")
 	}
-	a := &Allocator{base: base, size: size, live: make(map[int]int)}
-	if size > 0 {
-		a.free = []span{{addr: base, size: size}}
-	}
+	a := &Allocator{live: make(map[int]int)}
+	a.Reset(base, size)
 	return a
+}
+
+// Reset re-initialises the allocator over [base, base+size), dropping
+// all live allocations and statistics — machine reuse with a possibly
+// different heap layout (the region depends on the loaded program).
+func (a *Allocator) Reset(base, size int) {
+	if size < 0 || base < 0 {
+		panic("ls: negative allocator region")
+	}
+	a.base, a.size = base, size
+	a.free = a.free[:0]
+	if size > 0 {
+		a.free = append(a.free, span{addr: base, size: size})
+	}
+	clear(a.live)
+	a.liveBytes = 0
+	a.peakBytes = 0
 }
 
 func roundUp(n int) int {

@@ -85,6 +85,14 @@ func (l *LocalStore) Latency() int { return l.cfg.Latency }
 // Stats returns a copy of the accumulated statistics.
 func (l *LocalStore) Stats() Stats { return l.stats }
 
+// Reset zeroes the store contents, port bookings and statistics for
+// machine reuse. The backing array is kept.
+func (l *LocalStore) Reset() {
+	clear(l.data)
+	l.portFree = [NumPorts]sim.Cycle{}
+	l.stats = Stats{}
+}
+
 // Access books an n-byte access on port starting no earlier than now and
 // returns the cycle at which the data is available (for reads) or
 // durably written (for writes). Port occupancy is ceil(n/PortWidth)

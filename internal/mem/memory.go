@@ -1,7 +1,6 @@
 package mem
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/noc"
@@ -45,18 +44,14 @@ type outEvent struct {
 	seq int64
 }
 
-type outHeap []outEvent
-
-func (h outHeap) Len() int { return len(h) }
-func (h outHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Before orders response events by (ready cycle, service order) for the
+// typed min-heap.
+func (e outEvent) Before(o outEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h outHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *outHeap) Push(x any)   { *h = append(*h, x.(outEvent)) }
-func (h *outHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 
 // Memory is the main-memory component: a noc.Endpoint that services
 // scalar and block requests with port and latency modelling, backed by a
@@ -70,7 +65,7 @@ type Memory struct {
 
 	inbox    []noc.Message
 	portFree []sim.Cycle
-	out      outHeap
+	out      []outEvent
 	seq      int64
 	stats    Stats
 
@@ -107,6 +102,22 @@ func (m *Memory) Store() *Sparse { return m.store }
 // Stats returns a copy of the accumulated statistics.
 func (m *Memory) Stats() Stats { return m.stats }
 
+// Reset clears the functional store, all queued requests and pending
+// responses, port bookings and statistics for machine reuse.
+func (m *Memory) Reset() {
+	m.store.Reset()
+	m.inbox = m.inbox[:0]
+	for i := range m.portFree {
+		m.portFree[i] = 0
+	}
+	for i := range m.out {
+		m.out[i] = outEvent{} // release payload references
+	}
+	m.out = m.out[:0]
+	m.seq = 0
+	m.stats = Stats{}
+}
+
 // Deliver implements noc.Endpoint.
 func (m *Memory) Deliver(now sim.Cycle, msg noc.Message) {
 	m.inbox = append(m.inbox, msg)
@@ -135,7 +146,7 @@ func (m *Memory) reservePort(now sim.Cycle, occupancy sim.Cycle) sim.Cycle {
 
 func (m *Memory) emit(at sim.Cycle, msg noc.Message) {
 	m.seq++
-	heap.Push(&m.out, outEvent{at: at, msg: msg, seq: m.seq})
+	sim.HeapPush(&m.out, outEvent{at: at, msg: msg, seq: m.seq})
 }
 
 // occupancyFor returns the port cycles for an n-byte transfer.
@@ -155,7 +166,7 @@ func (m *Memory) Tick(now sim.Cycle) sim.Cycle {
 	m.inbox = m.inbox[:0]
 
 	for len(m.out) > 0 && m.out[0].at <= now {
-		ev := heap.Pop(&m.out).(outEvent)
+		ev := sim.HeapPop(&m.out)
 		m.net.Send(now, ev.msg)
 	}
 
@@ -190,7 +201,7 @@ func (m *Memory) service(now sim.Cycle, msg noc.Message) {
 		m.emit(start+lat, noc.Message{
 			Src: m.id, Dst: msg.Src, Kind: noc.KindMemReadResp,
 			A: msg.A, B: v, C: msg.C,
-			Data: make([]byte, n), // models the data payload on the wire
+			Pad: int32(n), // models the data payload on the wire
 		})
 
 	case noc.KindMemWrite32, noc.KindMemWrite64:
@@ -228,8 +239,8 @@ func (m *Memory) service(now sim.Cycle, msg noc.Message) {
 			if off+n > total {
 				n = total - off
 			}
-			buf := make([]byte, n)
-			if err := m.store.ReadBytes(msg.A+int64(off), buf); err != nil {
+			buf := m.net.GetBuf(n)
+			if err := m.store.ReadInto(msg.A+int64(off), buf); err != nil {
 				m.Fault(fmt.Errorf("block read from %d: %w", msg.Src, err))
 				return
 			}
@@ -246,13 +257,14 @@ func (m *Memory) service(now sim.Cycle, msg noc.Message) {
 		}
 
 	case noc.KindMemBlockWrite:
-		if err := m.store.WriteBytes(msg.A, msg.Data); err != nil {
+		if err := m.store.WriteFrom(msg.A, msg.Data); err != nil {
 			m.Fault(fmt.Errorf("block write from %d: %w", msg.Src, err))
 			return
 		}
 		start := m.reservePort(now, m.occupancyFor(len(msg.Data)))
 		m.stats.BytesWritten += int64(len(msg.Data))
-		if msg.B == 1 { // final packet of the PUT command
+		m.net.PutBuf(msg.Data) // payload copied into the store; recycle
+		if msg.B == 1 {        // final packet of the PUT command
 			m.stats.BlockWrites++
 			m.emit(start+lat, noc.Message{
 				Src: m.id, Dst: msg.Src, Kind: noc.KindMemBlockAck, C: msg.C,

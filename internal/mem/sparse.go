@@ -6,6 +6,7 @@
 package mem
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -25,6 +26,9 @@ const pageSize = 1 << pageBits
 type Sparse struct {
 	size  int64
 	pages map[int64][]byte
+	// pool holds zeroed pages released by Reset for reuse, so a pooled
+	// machine does not re-allocate its working set every run.
+	pool [][]byte
 
 	lastPage int64
 	lastBuf  []byte
@@ -51,6 +55,18 @@ func (s *Sparse) page(idx int64) ([]byte, bool) {
 // Size returns the addressable size in bytes.
 func (s *Sparse) Size() int64 { return s.size }
 
+// Reset forgets every written byte. The backing pages are zeroed and
+// kept in a free pool, so a reused store serves its next run from the
+// same memory instead of re-allocating its working set.
+func (s *Sparse) Reset() {
+	for _, p := range s.pages {
+		clear(p)
+		s.pool = append(s.pool, p)
+	}
+	clear(s.pages)
+	s.lastPage, s.lastBuf = -1, nil
+}
+
 func (s *Sparse) check(addr int64, n int) error {
 	if addr < 0 || addr+int64(n) > s.size {
 		return fmt.Errorf("mem: access [%#x,%#x) outside [0,%#x)", addr, addr+int64(n), s.size)
@@ -58,8 +74,11 @@ func (s *Sparse) check(addr int64, n int) error {
 	return nil
 }
 
-// ReadBytes fills buf from addr.
-func (s *Sparse) ReadBytes(addr int64, buf []byte) error {
+// ReadInto fills buf from addr, copying page-at-a-time: each touched
+// page contributes one copy (or one clear for unallocated pages), so
+// DMA block transfers cost O(pages), not O(bytes). This is the bulk
+// read path used by memory block reads, the MFC and FirstDiff.
+func (s *Sparse) ReadInto(addr int64, buf []byte) error {
 	if err := s.check(addr, len(buf)); err != nil {
 		return err
 	}
@@ -72,9 +91,7 @@ func (s *Sparse) ReadBytes(addr int64, buf []byte) error {
 		if p, ok := s.page(page); ok {
 			copy(buf[done:done+n], p[off:off+n])
 		} else {
-			for i := done; i < done+n; i++ {
-				buf[i] = 0
-			}
+			clear(buf[done : done+n])
 		}
 		done += n
 		addr += int64(n)
@@ -82,8 +99,14 @@ func (s *Sparse) ReadBytes(addr int64, buf []byte) error {
 	return nil
 }
 
-// WriteBytes copies data to addr.
-func (s *Sparse) WriteBytes(addr int64, data []byte) error {
+// ReadBytes fills buf from addr (alias of the bulk ReadInto path).
+func (s *Sparse) ReadBytes(addr int64, buf []byte) error {
+	return s.ReadInto(addr, buf)
+}
+
+// WriteFrom copies data to addr page-at-a-time — the bulk write path
+// used by memory block writes and segment loading.
+func (s *Sparse) WriteFrom(addr int64, data []byte) error {
 	if err := s.check(addr, len(data)); err != nil {
 		return err
 	}
@@ -95,15 +118,32 @@ func (s *Sparse) WriteBytes(addr int64, data []byte) error {
 		}
 		p, ok := s.page(page)
 		if !ok {
-			p = make([]byte, pageSize)
-			s.pages[page] = p
-			s.lastPage, s.lastBuf = page, p
+			p = s.newPage(page)
 		}
 		copy(p[off:off+n], data[done:done+n])
 		done += n
 		addr += int64(n)
 	}
 	return nil
+}
+
+// WriteBytes copies data to addr (alias of the bulk WriteFrom path).
+func (s *Sparse) WriteBytes(addr int64, data []byte) error {
+	return s.WriteFrom(addr, data)
+}
+
+// newPage allocates (or recycles) the zeroed backing for page idx.
+func (s *Sparse) newPage(idx int64) []byte {
+	var p []byte
+	if n := len(s.pool); n > 0 {
+		p = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+	} else {
+		p = make([]byte, pageSize)
+	}
+	s.pages[idx] = p
+	s.lastPage, s.lastBuf = idx, p
+	return p
 }
 
 // Read32 returns the sign-extended little-endian 32-bit word at addr.
@@ -161,10 +201,15 @@ func (r Reader) Read64(addr int64) int64 {
 	return v
 }
 
-// FirstDiff compares two sparse stores byte for byte (unallocated pages
-// read as zero) and returns the lowest differing address. equal=true
-// means the images are identical. Used by the synth differential
-// checker to assert two executions produced the same final memory.
+// zeroPage is the comparison image of an unallocated page.
+var zeroPage = make([]byte, pageSize)
+
+// FirstDiff compares two sparse stores (unallocated pages read as zero)
+// and returns the lowest differing address. equal=true means the images
+// are identical. Pages are compared with bulk bytes.Equal and only a
+// mismatching page is scanned for the first differing byte, so the
+// whole-image comparison the synth differential checker performs after
+// every run costs O(pages) memcmp instead of a per-byte loop.
 func FirstDiff(a, b *Sparse) (addr int64, equal bool) {
 	idxs := make(map[int64]struct{}, len(a.pages)+len(b.pages))
 	for i := range a.pages {
@@ -180,18 +225,17 @@ func FirstDiff(a, b *Sparse) (addr int64, equal bool) {
 	sort.Slice(sorted, func(x, y int) bool { return sorted[x] < sorted[y] })
 	for _, i := range sorted {
 		pa, pb := a.pages[i], b.pages[i]
-		if pa == nil && pb == nil {
+		if pa == nil {
+			pa = zeroPage
+		}
+		if pb == nil {
+			pb = zeroPage
+		}
+		if bytes.Equal(pa, pb) {
 			continue
 		}
 		for off := 0; off < pageSize; off++ {
-			var va, vb byte
-			if pa != nil {
-				va = pa[off]
-			}
-			if pb != nil {
-				vb = pb[off]
-			}
-			if va != vb {
+			if pa[off] != pb[off] {
 				return i<<pageBits + int64(off), false
 			}
 		}

@@ -1,0 +1,120 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSparseBulkPageBoundaries drives ReadInto/WriteFrom across page
+// boundaries: a write spanning three pages must read back identically,
+// and reads of unallocated ranges must zero-fill the buffer.
+func TestSparseBulkPageBoundaries(t *testing.T) {
+	s := NewSparse(16 << 20)
+	// Start 5 bytes before a page boundary, span two boundaries.
+	start := int64(pageSize - 5)
+	data := make([]byte, 2*pageSize+11)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	if err := s.WriteFrom(start, data); err != nil {
+		t.Fatalf("WriteFrom: %v", err)
+	}
+
+	got := make([]byte, len(data))
+	if err := s.ReadInto(start, got); err != nil {
+		t.Fatalf("ReadInto: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip mismatch")
+	}
+
+	// A read overlapping written and unallocated pages: the unallocated
+	// tail must come back zero even when the buffer starts dirty.
+	span := make([]byte, pageSize)
+	for i := range span {
+		span[i] = 0xFF
+	}
+	tailStart := start + int64(len(data)) - 7
+	if err := s.ReadInto(tailStart, span); err != nil {
+		t.Fatalf("ReadInto tail: %v", err)
+	}
+	if !bytes.Equal(span[:7], data[len(data)-7:]) {
+		t.Error("written prefix mismatch")
+	}
+	for i := 7; i < len(span); i++ {
+		if span[i] != 0 {
+			t.Fatalf("unallocated byte %d = %#x, want 0", i, span[i])
+		}
+	}
+
+	// Word accesses across a boundary agree with the byte image.
+	v, err := s.Read64(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := 7; i >= 0; i-- {
+		want = want<<8 | int64(data[i])
+	}
+	if v != want {
+		t.Errorf("Read64 across boundary = %#x, want %#x", v, want)
+	}
+}
+
+// TestSparseResetRecyclesPages checks Reset semantics: contents vanish,
+// and recycled pages come back zeroed.
+func TestSparseResetRecyclesPages(t *testing.T) {
+	s := NewSparse(1 << 20)
+	if err := s.Write64(pageSize-4, -1); err != nil { // spans two pages
+		t.Fatal(err)
+	}
+	s.Reset()
+	v, err := s.Read64(pageSize - 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("after Reset read = %#x, want 0", v)
+	}
+	// Re-write through the recycled (pooled) pages.
+	if err := s.Write64(pageSize-4, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Read64(pageSize - 4)
+	if v != 0x1122334455667788 {
+		t.Fatalf("recycled page read = %#x", v)
+	}
+}
+
+// TestFirstDiffPageBoundaries pins FirstDiff behaviour the checker
+// depends on: lowest differing address, zero-page equivalence, and
+// boundary-straddling differences.
+func TestFirstDiffPageBoundaries(t *testing.T) {
+	a, b := NewSparse(1<<20), NewSparse(1<<20)
+	if _, equal := FirstDiff(a, b); !equal {
+		t.Fatal("empty stores must be equal")
+	}
+
+	// An allocated-but-zero page equals an unallocated one.
+	if err := a.Write64(3*pageSize+8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, equal := FirstDiff(a, b); !equal {
+		t.Fatal("all-zero page must equal unallocated page")
+	}
+
+	// Differences on both sides of a page boundary: report the lowest.
+	if err := a.Write32(2*pageSize, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write32(pageSize-4, 9); err != nil {
+		t.Fatal(err)
+	}
+	addr, equal := FirstDiff(a, b)
+	if equal {
+		t.Fatal("stores differ but FirstDiff says equal")
+	}
+	if addr != pageSize-4 {
+		t.Errorf("first diff at %#x, want %#x", addr, int64(pageSize-4))
+	}
+}

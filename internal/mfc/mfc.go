@@ -12,7 +12,6 @@
 package mfc
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/ls"
@@ -97,24 +96,34 @@ type tagEntry struct {
 	n   int32
 }
 
+// evKind discriminates the MFC's internal timer events. Encoding the
+// action as data instead of a closure keeps the event heap
+// allocation-free on the DMA hot path.
+type evKind uint8
+
+const (
+	evLaunch   evKind = iota // command latency elapsed: issue traffic for slot
+	evSend                   // a PUT packet left the LS: send msg
+	evPopHead                // the queue head finished streaming
+	evComplete               // a GET's last packet is durably in the LS
+)
+
 type timedEvent struct {
-	at  sim.Cycle
-	fn  func(now sim.Cycle)
-	seq int64
+	at   sim.Cycle
+	seq  int64
+	kind evKind
+	slot int32
+	msg  noc.Message
 }
 
-type eventHeap []timedEvent
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Before orders events by (due cycle, schedule order) for the typed
+// min-heap.
+func (e timedEvent) Before(o timedEvent) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(timedEvent)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 
 // Engine is one SPE's DMA controller.
 type Engine struct {
@@ -137,7 +146,7 @@ type Engine struct {
 	headBusy  bool // head command is being processed (latency or streaming)
 	inflightN int  // commands launched and awaiting data/ack
 	tags      []tagEntry
-	events    eventHeap
+	events    []timedEvent
 	nextGen   int64
 	seq       int64
 	stats     Stats
@@ -173,6 +182,25 @@ func (e *Engine) Attach(h *sim.Handle) { e.handle = h }
 
 // Stats returns a copy of the accumulated statistics.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// Reset clears the command slab, queue, tag table, timers and
+// statistics for machine reuse.
+func (e *Engine) Reset() {
+	e.chLSA, e.chEA, e.chSize, e.chTag = 0, 0, 0, 0
+	e.cmds = e.cmds[:0]
+	e.free = e.free[:0]
+	e.queue = e.queue[:0]
+	e.headBusy = false
+	e.inflightN = 0
+	e.tags = e.tags[:0]
+	for i := range e.events {
+		e.events[i] = timedEvent{} // release payload references
+	}
+	e.events = e.events[:0]
+	e.nextGen = 0
+	e.seq = 0
+	e.stats = Stats{}
+}
 
 // WriteChannel latches a programming value (SPU MFCLSA/MFCEA/MFCSZ/MFCTAG).
 func (e *Engine) WriteChannel(ch Channel, v int64) {
@@ -305,24 +333,38 @@ func (e *Engine) Busy() bool {
 	return len(e.queue) > 0 || e.inflightN > 0 || len(e.events) > 0
 }
 
-func (e *Engine) schedule(at sim.Cycle, fn func(now sim.Cycle)) {
+func (e *Engine) schedule(at sim.Cycle, ev timedEvent) {
 	e.seq++
-	heap.Push(&e.events, timedEvent{at: at, fn: fn, seq: e.seq})
+	ev.at, ev.seq = at, e.seq
+	sim.HeapPush(&e.events, ev)
 	if e.handle != nil {
 		e.handle.Wake(at)
+	}
+}
+
+// dispatch runs one due timer event.
+func (e *Engine) dispatch(now sim.Cycle, ev timedEvent) {
+	switch ev.kind {
+	case evLaunch:
+		e.launch(now, ev.slot)
+	case evSend:
+		e.net.Send(now, ev.msg)
+	case evPopHead:
+		e.popHead(now)
+	case evComplete:
+		e.complete(now, ev.slot)
 	}
 }
 
 // Tick processes the queue head and due events.
 func (e *Engine) Tick(now sim.Cycle) sim.Cycle {
 	for len(e.events) > 0 && e.events[0].at <= now {
-		ev := heap.Pop(&e.events).(timedEvent)
-		ev.fn(now)
+		ev := sim.HeapPop(&e.events)
+		e.dispatch(now, ev)
 	}
 	if !e.headBusy && len(e.queue) > 0 {
 		e.headBusy = true
-		slot := e.queue[0]
-		e.schedule(now+sim.Cycle(e.cfg.CmdLatency), func(t sim.Cycle) { e.launch(t, slot) })
+		e.schedule(now+sim.Cycle(e.cfg.CmdLatency), timedEvent{kind: evLaunch, slot: e.queue[0]})
 	}
 	next := sim.Never
 	if len(e.events) > 0 {
@@ -357,7 +399,7 @@ func (e *Engine) launch(now sim.Cycle, slot int32) {
 			if off+n > cmd.size {
 				n = cmd.size - off
 			}
-			buf := make([]byte, n)
+			buf := e.net.GetBuf(int(n))
 			if err := e.store.ReadBytes(cmd.lsa+off, buf); err != nil {
 				e.Fault(fmt.Errorf("mfc%d put: %w", e.id, err))
 				return
@@ -367,16 +409,15 @@ func (e *Engine) launch(now sim.Cycle, slot int32) {
 			if off+n >= cmd.size {
 				last = 1
 			}
-			msg := noc.Message{
+			e.schedule(ready, timedEvent{kind: evSend, msg: noc.Message{
 				Src: e.id, Dst: e.memID, Kind: noc.KindMemBlockWrite,
 				A: cmd.ea + off, B: last, C: cmd.id, D: off, Data: buf,
-			}
-			e.schedule(ready, func(tt sim.Cycle) { e.net.Send(tt, msg) })
+			}})
 			t = ready
 			off += n
 		}
 		// The head slot frees once the last packet has left the LS.
-		e.schedule(t, func(tt sim.Cycle) { e.popHead(tt) })
+		e.schedule(t, timedEvent{kind: evPopHead})
 	}
 }
 
@@ -405,8 +446,9 @@ func (e *Engine) Deliver(now sim.Cycle, msg noc.Message) {
 		done := e.store.Access(ls.PortMFC, now, len(msg.Data))
 		e.stats.BytesIn += int64(len(msg.Data))
 		cmd.remaining -= int64(len(msg.Data))
+		e.net.PutBuf(msg.Data) // payload copied into the LS; recycle
 		if cmd.remaining <= 0 {
-			e.schedule(done, func(t sim.Cycle) { e.complete(t, slot) })
+			e.schedule(done, timedEvent{kind: evComplete, slot: slot})
 		}
 	case noc.KindMemBlockAck:
 		cmd, slot := e.lookup(msg.C)

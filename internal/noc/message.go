@@ -71,10 +71,14 @@ func (k Kind) String() string {
 const HeaderBytes = 16
 
 // Message is one interconnect transaction. A, B, C, D are protocol
-// fields whose meaning depends on Kind; Data carries DMA payloads.
+// fields whose meaning depends on Kind; Data carries DMA payloads. Pad
+// adds payload bytes to the wire accounting without materialising them
+// — scalar read responses model their data payload this way instead of
+// allocating a buffer nobody reads.
 type Message struct {
 	Src, Dst int
 	Kind     Kind
+	Pad      int32
 	A, B     int64
 	C, D     int64
 	Data     []byte
@@ -82,7 +86,7 @@ type Message struct {
 
 // WireSize returns the number of bytes the message occupies on a bus.
 func (m Message) WireSize() int {
-	return HeaderBytes + len(m.Data)
+	return HeaderBytes + len(m.Data) + int(m.Pad)
 }
 
 func (m Message) String() string {

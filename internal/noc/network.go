@@ -1,7 +1,6 @@
 package noc
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/sim"
@@ -46,18 +45,14 @@ type delivery struct {
 	seq int64
 }
 
-type deliveryHeap []delivery
-
-func (h deliveryHeap) Len() int { return len(h) }
-func (h deliveryHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Before orders deliveries by (completion cycle, send order) for the
+// typed min-heap.
+func (d delivery) Before(o delivery) bool {
+	if d.at != o.at {
+		return d.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return d.seq < o.seq
 }
-func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
-func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 
 // Network is the interconnect component. Senders call Send; the network
 // arbitrates the queued messages onto buses in FIFO order and calls the
@@ -77,9 +72,50 @@ type Network struct {
 	queue   []pending
 	qHead   int
 	busFree []sim.Cycle
-	dels    deliveryHeap
+	dels    []delivery
 	seq     int64
 	stats   Stats
+
+	// bufs is the machine's packet-buffer free list: DMA data packets
+	// (memory block reads, MFC PUT streams) borrow buffers here instead
+	// of allocating one per packet, and the consumer returns them once
+	// the payload is copied out. The network owns the pool because both
+	// producers (memory, every MFC) already hold a *Network, and a
+	// machine is single-threaded, so a plain LIFO needs no locking.
+	bufs [][]byte
+}
+
+// minBufCap is the minimum capacity of a pooled packet buffer. DMA
+// tail packets are smaller than the packetisation size; allocating
+// them with at least this capacity keeps every pooled buffer usable
+// for every default-config packet (PacketBytes 128), so the pool never
+// churns on size mismatches.
+const minBufCap = 256
+
+// GetBuf returns a packet buffer of length size from the pool
+// (allocating when the pool is empty or its top buffer is too small —
+// the pool is never drained hunting for a fit).
+func (n *Network) GetBuf(size int) []byte {
+	if k := len(n.bufs); k > 0 {
+		if b := n.bufs[k-1]; cap(b) >= size {
+			n.bufs = n.bufs[:k-1]
+			return b[:size]
+		}
+	}
+	c := size
+	if c < minBufCap {
+		c = minBufCap
+	}
+	return make([]byte, size, c)
+}
+
+// PutBuf returns a packet buffer to the pool. Callers must not retain
+// the slice afterwards.
+func (n *Network) PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	n.bufs = append(n.bufs, b)
 }
 
 // New creates a network with the given configuration; Attach must be
@@ -128,6 +164,26 @@ func (n *Network) endpoint(id int) Endpoint {
 // Stats returns a copy of the accumulated statistics.
 func (n *Network) Stats() Stats { return n.stats }
 
+// Reset clears all in-flight traffic, bus bookings and statistics for
+// machine reuse. Endpoint registrations and the packet-buffer pool are
+// kept.
+func (n *Network) Reset() {
+	for i := n.qHead; i < len(n.queue); i++ {
+		n.queue[i] = pending{}
+	}
+	n.queue = n.queue[:0]
+	n.qHead = 0
+	for i := range n.dels {
+		n.dels[i] = delivery{} // release payload references
+	}
+	n.dels = n.dels[:0]
+	for i := range n.busFree {
+		n.busFree[i] = 0
+	}
+	n.seq = 0
+	n.stats = Stats{}
+}
+
 // Send queues a message for transfer. The message starts arbitration on
 // the next cycle (a sender cannot inject and transfer in the same cycle).
 func (n *Network) Send(now sim.Cycle, m Message) {
@@ -174,7 +230,7 @@ func (n *Network) Tick(now sim.Cycle) sim.Cycle {
 		n.stats.BusyCycles += int64(occ)
 		n.stats.Bytes += int64(p.msg.WireSize())
 		n.seq++
-		heap.Push(&n.dels, delivery{msg: p.msg, at: now + occ + sim.Cycle(n.cfg.HopLatency), seq: p.seq})
+		sim.HeapPush(&n.dels, delivery{msg: p.msg, at: now + occ + sim.Cycle(n.cfg.HopLatency), seq: p.seq})
 		n.queue[n.qHead] = pending{} // release Data for the GC
 		n.qHead++
 	}
@@ -191,7 +247,7 @@ func (n *Network) Tick(now sim.Cycle) sim.Cycle {
 
 	// Complete due deliveries.
 	for len(n.dels) > 0 && n.dels[0].at <= now {
-		d := heap.Pop(&n.dels).(delivery)
+		d := sim.HeapPop(&n.dels)
 		n.stats.Messages++
 		n.eps[d.msg.Dst].Deliver(now, d.msg)
 	}

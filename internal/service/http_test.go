@@ -301,7 +301,16 @@ func TestSweepAllAndCancel(t *testing.T) {
 		}
 	}
 	if canceled == 0 {
-		t.Fatal("one worker finished the whole registry before any cancel — implausible")
+		// The whole registry can legitimately drain before the cancel
+		// loop starts (quick mode on a fast machine); only complain when
+		// jobs were still cancelable and none canceled.
+		var polled SweepDoc
+		if err := json.Unmarshal(readAll(t, postGet(t, ts.URL+"/v1/sweeps/"+sweep.Sweep)), &polled); err != nil {
+			t.Fatal(err)
+		}
+		if polled.Done != polled.Total {
+			t.Fatalf("no job canceled yet sweep not drained (%d/%d done)", polled.Done, polled.Total)
+		}
 	}
 
 	deadline := time.Now().Add(120 * time.Second)

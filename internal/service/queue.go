@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cell"
 	"repro/internal/harness"
 )
 
@@ -96,8 +97,8 @@ type Service struct {
 	jobs       map[string]*Job
 	sweeps     map[string]*Sweep
 	inflight   map[string]*Job // run key -> non-terminal job, for coalescing
-	retired    []string // terminal job ids, oldest first, for retention pruning
-	sweepOrder []string // sweep ids, oldest first
+	retired    []string        // terminal job ids, oldest first, for retention pruning
+	sweepOrder []string        // sweep ids, oldest first
 	jobSeq     int
 	sweepSeq   int
 	closed     bool
@@ -127,10 +128,10 @@ func New(cfg Config) *Service {
 		cfg.List = harness.All
 	}
 	s := &Service{
-		cfg:    cfg,
-		cache:  NewCache(cfg.CacheSize),
-		lookup: cfg.Lookup,
-		list:   cfg.List,
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheSize),
+		lookup:   cfg.Lookup,
+		list:     cfg.List,
 		jobs:     make(map[string]*Job),
 		sweeps:   make(map[string]*Sweep),
 		inflight: make(map[string]*Job),
@@ -319,18 +320,22 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
-// worker executes queued jobs until the queue closes.
+// worker executes queued jobs until the queue closes. Each worker owns
+// a machine pool so consecutive jobs on this goroutine reuse built
+// machines instead of reconstructing them; the pool never crosses
+// goroutines.
 func (s *Service) worker() {
 	defer s.wg.Done()
+	pool := cell.NewPool()
 	for job := range s.queue {
-		s.runJob(job)
+		s.runJob(job, pool)
 	}
 }
 
 // runJob executes one job end to end. The simulation itself goes
-// through harness.Serial so error returns and panics surface exactly as
-// they do in CLI sweeps.
-func (s *Service) runJob(job *Job) {
+// through harness.RunOn — the same containment primitive as CLI sweeps
+// — so error returns and panics surface exactly as they do there.
+func (s *Service) runJob(job *Job, pool *cell.Pool) {
 	s.mu.Lock()
 	if job.State != JobQueued { // canceled while waiting
 		s.mu.Unlock()
@@ -369,7 +374,7 @@ func (s *Service) runJob(job *Job) {
 		return
 	}
 	s.simulated.Add(1)
-	res := harness.Serial(job.Options, []*harness.Experiment{exp})[0]
+	res := harness.RunOn(harness.NewContextWithPool(job.Options, pool), exp)
 	if res.Err != nil {
 		finish(func(j *Job) {
 			j.State = JobFailed

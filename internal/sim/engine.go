@@ -171,6 +171,32 @@ func (e *Engine) Register(c Component) *Handle {
 // Now reports the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
+// Reset returns the engine to cycle 0 with every registered component
+// scheduled for the first pass, exactly as if each had just been
+// registered — the scheduling half of machine reuse. Component state is
+// the components' own business; the engine only rewinds time and the
+// queues. All existing Handles remain valid.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.stopped = false
+	e.stopAt = 0
+	e.heap = e.heap[:0]
+	for i := range e.pos {
+		e.pos[i] = notQueued
+	}
+	e.nextList = e.nextList[:0]
+	e.nextLive = 0
+	e.nextSorted = true
+	e.bucketSeq++ // invalidates every inNextSeq entry
+	e.passList = e.passList[:0]
+	e.passCursor = 0
+	e.ticking = notQueued
+	e.running = false
+	for i := range e.comps {
+		e.schedule(int32(i), 0)
+	}
+}
+
 // Stop requests that Run return at the end of the current pass. It is
 // typically called by the component that detects overall completion (the
 // PPE mailbox in the CellDTA machine).

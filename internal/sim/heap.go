@@ -1,0 +1,57 @@
+package sim
+
+// Typed binary min-heap helpers. container/heap routes every Push/Pop
+// through interface{} boxing, which heap-allocates each event on the
+// simulator's hottest paths (noc deliveries, memory responses, MFC
+// timers). These generic helpers keep the elements in the backing slice
+// with zero allocations beyond slice growth.
+
+// Lesser is implemented by heap elements; Before reports strict
+// ordering (the heap is a min-heap on Before).
+type Lesser[T any] interface {
+	Before(T) bool
+}
+
+// HeapPush inserts v, keeping *h a valid min-heap.
+func HeapPush[T Lesser[T]](h *[]T, v T) {
+	*h = append(*h, v)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].Before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// HeapPop removes and returns the minimum element. The vacated slot is
+// zeroed so payload references (e.g. packet buffers) are released.
+func HeapPop[T Lesser[T]](h *[]T) T {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	var zero T
+	s[last] = zero
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= last {
+			break
+		}
+		if r := c + 1; r < last && s[r].Before(s[c]) {
+			c = r
+		}
+		if !s[c].Before(s[i]) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}

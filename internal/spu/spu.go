@@ -46,7 +46,22 @@ type Config struct {
 	// WRITE are served by an ideal local cache with this latency instead
 	// of crossing the interconnect. The machine wires the backing store.
 	PerfectCacheLat int
+	// BurstMax bounds the burst-execution fast path: the maximum number
+	// of pipeline cycles the SPU may simulate inside one engine Tick
+	// when the upcoming instructions are straight-line register-only
+	// compute (isa.Burstable). The burst is cycle- and metric-identical
+	// to single-step execution — it only skips engine round-trips for
+	// cycles no other component can observe. 0 selects DefaultBurstMax;
+	// 1 or negative disables bursting entirely (the single-step slow
+	// path that the differential tests compare against).
+	BurstMax int
 }
+
+// DefaultBurstMax is the burst-window bound applied when
+// Config.BurstMax is 0. The cap exists so a runaway all-compute loop
+// still returns to the engine often enough for Config.MaxCycles to
+// abort it.
+const DefaultBurstMax = 4096
 
 // DefaultConfig returns the default pipeline parameters.
 func DefaultConfig() Config {
@@ -96,10 +111,20 @@ type SPU struct {
 	code    []isa.Instruction
 	pc      int
 
+	// mask is the burst mask of the current code block (masks caches
+	// one per template block): mask[pc] is true when the instructions
+	// at pc and pc+1 are both register-only compute, i.e. one cycle
+	// starting at pc cannot touch anything outside the pipeline.
+	mask  []bool
+	masks [][]bool
+
 	ph          phase
 	gapBucket   stats.Bucket // bucket for cycles while sleeping
 	accounted   sim.Cycle    // cycles < accounted are attributed
 	nextIssueAt sim.Cycle    // branch bubbles / dispatch refill
+	burstLimit  sim.Cycle    // resolved Config.BurstMax (>= 1)
+	resumeAt    sim.Cycle    // burst horizon: cycles below are already simulated
+	stallUntil  sim.Cycle    // ready cycle of the register that blocked issue
 
 	readDst  uint8
 	reqSeq   int64
@@ -132,7 +157,33 @@ func New(cfg Config, id, spe, memID int, net *noc.Network, lseUnit *dta.LSE,
 		gapBucket: stats.Idle,
 		Fault:     func(err error) { panic(err) },
 	}
+	s.burstLimit = sim.Cycle(cfg.BurstMax)
+	if cfg.BurstMax == 0 {
+		s.burstLimit = DefaultBurstMax
+	} else if cfg.BurstMax < 1 {
+		s.burstLimit = 1
+	}
+	s.masks = make([][]bool, len(prog.Templates)*int(program.NumBlocks))
 	return s
+}
+
+// maskFor returns (computing on first use) the burst mask of one
+// template code block: maskFor(t,b)[pc] is true when the instructions
+// at pc and pc+1 are both isa.Burstable. The last instruction of a
+// block is never burstable — the block transition must run on the
+// engine clock.
+func (s *SPU) maskFor(tmpl int, blk program.BlockKind) []bool {
+	idx := tmpl*int(program.NumBlocks) + int(blk)
+	if m := s.masks[idx]; m != nil {
+		return m
+	}
+	code := s.prog.Templates[tmpl].Blocks[blk]
+	m := make([]bool, len(code))
+	for i := 0; i+1 < len(code); i++ {
+		m[i] = isa.Burstable(code[i].Op) && isa.Burstable(code[i+1].Op)
+	}
+	s.masks[idx] = m
+	return m
 }
 
 // Name implements sim.Component.
@@ -150,6 +201,45 @@ func (s *SPU) Wake(now sim.Cycle) {
 
 // Stats returns the accumulated statistics.
 func (s *SPU) Stats() stats.SPU { return s.st }
+
+// Reset returns the pipeline to its post-construction state for
+// machine reuse, rebinding it to prog (the burst-mask cache is sized
+// by the program's template count). Wiring (Fault, Magic, handle) is
+// kept.
+func (s *SPU) Reset(prog *program.Program) {
+	if prog != s.prog {
+		// The burst-mask cache is keyed by template block; it stays
+		// valid when the same program is re-run.
+		n := len(prog.Templates) * int(program.NumBlocks)
+		if n <= cap(s.masks) {
+			s.masks = s.masks[:n]
+			for i := range s.masks {
+				s.masks[i] = nil
+			}
+		} else {
+			s.masks = make([][]bool, n)
+		}
+	}
+	s.prog = prog
+	for i := range s.regs {
+		s.regs[i], s.ready[i], s.prod[i] = 0, 0, prodNone
+	}
+	s.cur, s.curKind = nil, dta.WorkNone
+	s.block = 0
+	s.code = nil
+	s.pc = 0
+	s.mask = nil
+	s.ph = phIdle
+	s.gapBucket = stats.Idle
+	s.accounted = 0
+	s.nextIssueAt = 0
+	s.resumeAt = 0
+	s.stallUntil = 0
+	s.readDst = 0
+	s.reqSeq = 0
+	s.fallocRd = 0
+	s.st = stats.SPU{}
+}
 
 // Finalize charges the trailing sleep gap up to end (call once when the
 // run stops) and records the run length.
@@ -175,6 +265,20 @@ func (s *SPU) chargeCycle(now sim.Cycle, b stats.Bucket) {
 	if s.accounted == now {
 		s.st.Breakdown.Add(b, 1)
 		s.accounted = now + 1
+	}
+}
+
+// chargeCycles attributes n consecutive cycles starting at t to bucket —
+// the bulk form of chargeCycle used by the burst fast path to batch
+// pipeline bubbles (dispatch refill, branch penalty, MFC channel busy).
+func (s *SPU) chargeCycles(t sim.Cycle, n int64, b stats.Bucket) {
+	if n <= 0 {
+		return
+	}
+	s.account(t)
+	if s.accounted == t {
+		s.st.Breakdown.Add(b, n)
+		s.accounted = t + sim.Cycle(n)
 	}
 }
 
@@ -231,6 +335,7 @@ func (s *SPU) dispatch(now sim.Cycle) bool {
 		s.block = program.PL
 	}
 	s.code = tmpl.Blocks[s.block]
+	s.mask = s.maskFor(th.Template, s.block)
 	s.pc = 0
 	s.skipEmptyBlocks(now)
 	s.nextIssueAt = now + sim.Cycle(s.cfg.DispatchCost)
@@ -271,6 +376,7 @@ func (s *SPU) advanceBlock(now sim.Cycle) bool {
 		return false
 	}
 	s.code = s.prog.Templates[s.cur.Template].Blocks[s.block]
+	s.mask = s.maskFor(s.cur.Template, s.block)
 	s.pc = 0
 	return true
 }
@@ -284,8 +390,41 @@ func (s *SPU) bucketFor(b stats.Bucket) stats.Bucket {
 	return b
 }
 
-// Tick executes one pipeline cycle.
+// Tick executes one or more pipeline cycles. The burst fast path: when
+// the upcoming instructions are straight-line register-only compute
+// (isa.Burstable — no load/store/DMA/sync and nothing another component
+// can observe), the SPU simulates up to burstLimit cycles in one call
+// and returns the horizon, so the engine skips the dead cycles
+// entirely. Every simulated cycle goes through the exact same
+// issueCycle/chargeCycle path as single-step execution, so cycle
+// counts, stall attribution and instruction statistics are identical.
+//
+// Caveat (documented, not observable in well-formed DTA activities):
+// burst cycles are simulated eagerly, so if the whole activity
+// completes while this SPU is inside a burst window, the final
+// statistics include the window's cycles beyond the stop cycle. DTA
+// programs end with a join — every SPU is quiescent when the last
+// token posts — and the differential suite asserts exact burst ==
+// single-step identity across the synth corpus, the paper experiments
+// and the machine tests. Similarly, a Config.MaxCycles abort may be
+// detected up to burstLimit cycles later than in single-step mode.
 func (s *SPU) Tick(now sim.Cycle) sim.Cycle {
+	if now < s.resumeAt {
+		// An early wake (e.g. the LSE's OnWork) landed inside a burst
+		// window whose cycles are already simulated; sleep to the
+		// horizon. Running-thread execution never depends on wakes.
+		return s.resumeAt
+	}
+	next := s.tick(now)
+	if next == sim.Never {
+		s.resumeAt = 0
+	} else {
+		s.resumeAt = next
+	}
+	return next
+}
+
+func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 	switch s.ph {
 	case phWaitRead, phWaitFalloc:
 		// Sleeping on a response; gap accounting happens on wake.
@@ -304,33 +443,89 @@ func (s *SPU) Tick(now sim.Cycle) sim.Cycle {
 			return sim.Never
 		}
 	}
-	if now < s.nextIssueAt {
-		// Dispatch refill or branch bubble.
-		s.chargeCycle(now, s.bucketFor(stats.Working))
-		return now + 1
+	limit := now + s.burstLimit
+	t := now
+	for {
+		if t < s.nextIssueAt {
+			// Dispatch refill, branch bubble, or MFC channel busy:
+			// charge the dead cycles in bulk. Bubble cycles are
+			// engine-invisible — the SPU accepts no deliveries in
+			// phRun and mutates nothing another component reads — so
+			// batching them is exactly single-step behaviour.
+			end := s.nextIssueAt
+			if end > limit {
+				end = limit
+			}
+			s.chargeCycles(t, int64(end-t), s.bucketFor(stats.Working))
+			t = end
+			if t >= limit || !s.burstable() {
+				return t
+			}
+		}
+		bucket, issued, sleep := s.issueCycle(t)
+		if sleep {
+			s.chargeCycle(t, bucket)
+			return sim.Never
+		}
+		if issued == 0 && s.stallUntil > t+1 {
+			// Pure scoreboard stall: no instruction issued because a
+			// source register's result is pending. Nothing in the
+			// machine can change the outcome before the producer's
+			// ready cycle — the scoreboard is pipeline-local — so
+			// charge the whole wait in bulk and jump to its end.
+			end := s.stallUntil
+			if end > limit {
+				end = limit
+			}
+			s.chargeCycles(t, int64(end-t), bucket)
+			t = end
+		} else {
+			s.chargeCycle(t, bucket)
+			t++
+		}
+		if t >= limit {
+			return t
+		}
+		if s.cur == nil {
+			// Work unit ended (STOP or PF completion): the next cycle
+			// dispatches, which resets the pipeline refill — hand back
+			// to the engine exactly as single-step execution does.
+			return t
+		}
+		if t >= s.nextIssueAt && !s.burstable() {
+			return t
+		}
 	}
-	bucket, sleep := s.issueCycle(now)
-	s.chargeCycle(now, bucket)
-	if sleep {
-		return sim.Never
-	}
-	return now + 1
+}
+
+// burstable reports whether the next pipeline cycle can be simulated
+// without returning to the engine: the SPU is running a PL/EX/PS block
+// and the next two sequential instructions — the only ones one cycle
+// can reach — are register-only compute (the precomputed block mask).
+// Anything touching the local store, main memory, the LSE or the MFC
+// must execute on the engine clock, where the rest of the machine has
+// caught up. PF blocks are excluded because falling off their end
+// notifies the LSE.
+func (s *SPU) burstable() bool {
+	return s.cur != nil && s.curKind == dta.WorkThread &&
+		s.pc < len(s.mask) && s.mask[s.pc]
 }
 
 // issueCycle attempts to issue up to two instructions at cycle now. It
-// returns the bucket for this cycle and whether the SPU should sleep
-// (blocking wait entered).
-func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, bool) {
+// returns the bucket for this cycle, how many instructions issued, and
+// whether the SPU should sleep (blocking wait entered).
+func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, int, bool) {
 	issued := 0
 	memUsed, cmpUsed := false, false
 	bucket := s.bucketFor(stats.Working)
+	s.stallUntil = 0
 
 	for issued < 2 && s.cur != nil {
 		if !s.skipEmptyBlocks(now) {
 			break // work unit ended (PF completion)
 		}
 		ins := s.code[s.pc]
-		info := isa.MustInfo(ins.Op)
+		info := isa.InfoOf(ins.Op)
 		isMem := info.Unit.MemSlot()
 		if (isMem && memUsed) || (!isMem && cmpUsed) {
 			break // structural: slot taken this cycle
@@ -358,7 +553,7 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, bool) {
 			cmpUsed = true
 		}
 		if sleep {
-			return s.bucketFor(stats.Working), true
+			return s.bucketFor(stats.Working), issued, true
 		}
 		if info.Branch && s.nextIssueAt > now {
 			break // taken branch ends the issue group
@@ -367,35 +562,18 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, bool) {
 			break // STOP or PF completion inside execute
 		}
 	}
-	return bucket, false
+	return bucket, issued, false
 }
 
 // operandsBlocked checks the scoreboard for the instruction's source
 // registers and reports the stall cause.
-func (s *SPU) operandsBlocked(now sim.Cycle, ins isa.Instruction, info isa.Info) (bool, stats.Bucket) {
-	check := func(r uint8) (bool, stats.Bucket) {
-		if s.ready[r] > now {
-			if s.prod[r] == prodLS {
-				return true, stats.LSStall
-			}
-			return true, stats.Working
-		}
-		return false, stats.Working
-	}
+func (s *SPU) operandsBlocked(now sim.Cycle, ins isa.Instruction, info *isa.Info) (bool, stats.Bucket) {
 	var srcs [3]uint8
 	n := 0
 	switch info.Fmt {
-	case isa.FmtRa:
+	case isa.FmtRa, isa.FmtRdRa, isa.FmtRdRaImm:
 		srcs[0], n = ins.Ra, 1
-	case isa.FmtRdRa:
-		srcs[0], n = ins.Ra, 1
-	case isa.FmtRdRaRb:
-		srcs[0], srcs[1], n = ins.Ra, ins.Rb, 2
-	case isa.FmtRdRaImm:
-		srcs[0], n = ins.Ra, 1
-	case isa.FmtRaRbImm:
-		srcs[0], srcs[1], n = ins.Ra, ins.Rb, 2
-	case isa.FmtRdRaRbIm:
+	case isa.FmtRdRaRb, isa.FmtRaRbImm, isa.FmtRdRaRbIm:
 		srcs[0], srcs[1], n = ins.Ra, ins.Rb, 2
 	}
 	// Stores read their value register (Rd) too.
@@ -405,8 +583,16 @@ func (s *SPU) operandsBlocked(now sim.Cycle, ins isa.Instruction, info isa.Info)
 		srcs[n], n = ins.Rd, n+1
 	}
 	for i := 0; i < n; i++ {
-		if blocked, cause := check(srcs[i]); blocked {
-			return true, cause
+		if r := srcs[i]; s.ready[r] > now {
+			// Record when this register's result lands so the burst
+			// fast path can batch the whole wait; re-checking at that
+			// cycle reproduces single-step behaviour exactly (a later
+			// source may then block in turn).
+			s.stallUntil = s.ready[r]
+			if s.prod[r] == prodLS {
+				return true, stats.LSStall
+			}
+			return true, stats.Working
 		}
 	}
 	return false, stats.Working
@@ -449,7 +635,7 @@ func (s *SPU) latFor(u isa.Unit) sim.Cycle {
 // execute performs one instruction. ok=false means a structural stall
 // (retry next cycle, pc unchanged); sleep=true means the SPU enters a
 // blocking wait (pc already advanced).
-func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, info isa.Info) (ok, sleep bool, cause stats.Bucket) {
+func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, info *isa.Info) (ok, sleep bool, cause stats.Bucket) {
 	r := func(i uint8) int64 { return s.regs[i] }
 	adv := func() { s.pc++ }
 

@@ -1,0 +1,23 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// TestCorpusBurstDifferential is the slow-path/fast-path differential
+// over the pinned corpus: every seed's original AND prefetch-transformed
+// simulation runs twice — SPU burst fast path and single-step — and the
+// checker fails unless cycles, stall breakdowns, every other statistic,
+// tokens and the final memory image are identical (DiffBurst compares
+// them inside runSim). The machines come from a pool, so this also
+// exercises reuse on every run.
+func TestCorpusBurstDifferential(t *testing.T) {
+	opt := CheckOptions{DiffBurst: true, Pool: cell.NewPool()}
+	for _, seed := range CorpusSeeds() {
+		if _, err := CheckSeed(seed, opt); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

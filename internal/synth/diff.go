@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"reflect"
 
 	"repro/internal/cell"
 	"repro/internal/mem"
@@ -50,6 +51,14 @@ type CheckOptions struct {
 	// traffic can delay them slightly, hence the allowance. 0 selects
 	// 2000 cycles.
 	StallSlack int64
+	// Pool recycles machines across checks (per worker; must not be
+	// shared across goroutines). nil builds a fresh machine per run.
+	Pool *cell.Pool
+	// DiffBurst additionally runs every simulation a second time with
+	// the SPU burst fast path disabled and fails the check unless
+	// cycles, all statistics, tokens and the final memory image are
+	// identical — the slow-path/fast-path differential mode.
+	DiffBurst bool
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -107,14 +116,16 @@ func diverged(sc Scenario, phase, format string, args ...any) *DivergenceError {
 	return &DivergenceError{Scenario: sc, Phase: phase, Detail: fmt.Sprintf(format, args...)}
 }
 
-// runSim executes prog on a fresh machine and returns the result plus
-// the machine (for its final memory image).
+// runSim executes prog on a (pooled) machine and returns the result
+// plus the machine (for its final memory image). With DiffBurst it
+// also runs the single-step slow path and asserts bit-identical
+// outcomes before returning the fast-path result.
 func runSim(sc Scenario, opt CheckOptions, prog *program.Program) (*cell.Result, *cell.Machine, error) {
 	cfg := cell.DefaultConfig()
 	cfg.SPEs = sc.SPEs
 	cfg.Mem.Latency = opt.Latency
 	cfg.MaxCycles = opt.MaxCycles
-	m, err := cell.New(cfg, prog)
+	m, err := opt.Pool.Get(cfg, prog)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -122,7 +133,52 @@ func runSim(sc Scenario, opt CheckOptions, prog *program.Program) (*cell.Result,
 	if err != nil {
 		return nil, nil, err
 	}
+	if opt.DiffBurst {
+		slowCfg := cfg
+		slowCfg.SPU.BurstMax = -1 // single-step slow path
+		sm, err := opt.Pool.Get(slowCfg, prog)
+		if err != nil {
+			return nil, nil, err
+		}
+		sres, err := sm.Run()
+		if err != nil {
+			return nil, nil, fmt.Errorf("single-step run: %w", err)
+		}
+		if d := diffResults(res, sres); d != "" {
+			return nil, nil, fmt.Errorf("burst/single-step divergence: %s", d)
+		}
+		if addr, equal := mem.FirstDiff(m.MemSparse(), sm.MemSparse()); !equal {
+			return nil, nil, fmt.Errorf("burst/single-step memory divergence at %#x", addr)
+		}
+		opt.Pool.Put(sm)
+	}
 	return res, m, nil
+}
+
+// diffResults compares every reported number of two runs of the same
+// program and describes the first difference ("" when identical).
+func diffResults(a, b *cell.Result) string {
+	switch {
+	case a.Cycles != b.Cycles:
+		return fmt.Sprintf("cycles %d vs %d", a.Cycles, b.Cycles)
+	case !reflect.DeepEqual(a.Tokens, b.Tokens):
+		return fmt.Sprintf("tokens %v vs %v", a.Tokens, b.Tokens)
+	case !reflect.DeepEqual(a.Agg, b.Agg):
+		return fmt.Sprintf("aggregate SPU stats %+v vs %+v", a.Agg, b.Agg)
+	case !reflect.DeepEqual(a.SPUs, b.SPUs):
+		return "per-SPU stats differ"
+	case !reflect.DeepEqual(a.LSEs, b.LSEs):
+		return "LSE stats differ"
+	case !reflect.DeepEqual(a.MFCs, b.MFCs):
+		return "MFC stats differ"
+	case !reflect.DeepEqual(a.DSEs, b.DSEs):
+		return "DSE stats differ"
+	case a.Mem != b.Mem:
+		return fmt.Sprintf("memory stats %+v vs %+v", a.Mem, b.Mem)
+	case a.Net != b.Net:
+		return fmt.Sprintf("network stats %+v vs %+v", a.Net, b.Net)
+	}
+	return ""
 }
 
 func tokensEqual(a, b []int64) bool {
@@ -209,6 +265,11 @@ func CheckScenario(sc Scenario, opt CheckOptions) (*Report, error) {
 			"prefetch cycles %d exceed guard band %d (original %d, ratio %.1f, slack %d)",
 			pf.Cycles, limit, orig.Cycles, opt.GuardRatio, opt.GuardSlack)
 	}
+
+	// All comparisons done: the machines (and their memory images) may
+	// go back to the pool.
+	opt.Pool.Put(origM)
+	opt.Pool.Put(pfM)
 
 	st := prefetch.Analyze(prog, pfProg)
 	return &Report{
