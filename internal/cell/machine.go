@@ -93,28 +93,40 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 		m.tracer = trace.NewBuffer(cfg.TraceCap)
 	}
 	m.net = noc.New(cfg.Noc)
-	m.net.Attach(m.eng.Register(m.net))
+	netHandle := m.eng.Register(m.net)
+	m.net.Attach(netHandle)
 
 	m.memory = mem.New(cfg.Mem, cfg.memEP(), m.net)
-	m.memory.Attach(m.eng.Register(m.memory))
+	memHandle := m.eng.Register(m.memory)
+	m.memory.Attach(memHandle)
 	m.net.Register(cfg.memEP(), m.memory)
 	m.memory.Fault = m.fail
 
 	lseEP := cfg.lseEP
 
-	// SPEs: LSE ticks before SPU so same-cycle dispatches work.
+	// SPEs: LSE ticks before SPU so same-cycle dispatches work. The
+	// registration order is also a correctness contract of the SPU's
+	// local-store read bursts: every component whose Tick can touch a
+	// local store (the network delivering DMA data into it, the LSE
+	// writing frames, the MFC streaming PUTs out of it) is registered
+	// BEFORE the SPE's SPU, so a same-cycle store is always visible to
+	// the SPU's issue at that cycle, and the SPU only ever pre-executes
+	// strictly-future local-store reads under the horizon it gets from
+	// the engine plus the SetLSWriters wiring below.
 	for i := 0; i < cfg.SPEs; i++ {
 		store := ls.New(cfg.LS)
 		alloc := ls.NewAllocator(layout.HeapBase, layout.HeapBytes)
 		lseUnit := dta.NewLSE(cfg.LSE, lseEP(i), i, cfg.dseEP(cfg.nodeOf(i)), cfg.ppeEP(),
 			m.net, store, alloc, int64(layout.FrameBase), prog, lseEP)
-		lseUnit.Attach(m.eng.Register(lseUnit))
+		lseHandle := m.eng.Register(lseUnit)
+		lseUnit.Attach(lseHandle)
 		m.net.Register(lseEP(i), lseUnit)
 		lseUnit.Fault = m.fail
 		lseUnit.Trace = m.tracer
 
 		dmaEng := mfc.New(cfg.MFC, cfg.mfcEP(i), cfg.memEP(), m.net, store)
-		dmaEng.Attach(m.eng.Register(dmaEng))
+		mfcHandle := m.eng.Register(dmaEng)
+		dmaEng.Attach(mfcHandle)
 		m.net.Register(cfg.mfcEP(i), dmaEng)
 		dmaEng.Fault = m.fail
 
@@ -123,6 +135,23 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 		pipe.Attach(m.eng.Register(pipe))
 		m.net.Register(cfg.spuEP(i), pipe)
 		pipe.Fault = m.fail
+		// The only components that ever hold a reference to this SPE's
+		// local store are its LSE, its MFC and its SPU (see the
+		// constructor calls above) — plus the network, during whose
+		// Tick the MFC's and LSE's Deliver calls arrive. Everything
+		// else (other SPEs, the DSEs, the PPE, main memory) reaches
+		// this store only through a network message, which takes at
+		// least MinDeliveryLatency cycles from the sender's tick. The
+		// touch group narrows the network term further: only deliveries
+		// addressed to this SPE's MFC or LSE matter.
+		m.net.DeclareTouchGroup(i, cfg.mfcEP(i), lseEP(i))
+		pipe.SetLSWiring(spu.LSWiring{
+			NetID: netHandle.ID(), LSEID: lseHandle.ID(), MFCID: mfcHandle.ID(),
+			MemID:      memHandle.ID(),
+			TouchGroup: i,
+			ChainLat:   cfg.Noc.MinDeliveryLatency(),
+			GrantLag:   m.net.DeliveryLagLB(),
+		})
 
 		// Cross-wiring.
 		lseUnit.OnWork = pipe.Wake

@@ -313,6 +313,17 @@ func (l *LSE) Deliver(now sim.Cycle, msg noc.Message) {
 }
 
 // Tick processes up to ServiceRate queued operations.
+//
+// Scheduling contract (the SPU's local-store burst window depends on
+// it): every local-store mutation the LSE performs — frame writes in
+// localFrameStore — happens inside Tick, and whenever the inbox is
+// non-empty the LSE is scheduled in the engine for the next cycle
+// (push wakes the handle, Tick returns now+1 while work remains). The
+// SPU's quiescence horizon reads that schedule via
+// sim.Engine.NextScheduled, so pending frame stores are always
+// advertised before they can land. An LSE change that writes the
+// store outside Tick, or that defers work without staying scheduled,
+// would silently break that proof — don't.
 func (l *LSE) Tick(now sim.Cycle) sim.Cycle {
 	n := l.cfg.ServiceRate
 	for n > 0 && l.inboxHead < len(l.inbox) {

@@ -127,9 +127,10 @@ func IDs() []string {
 type Context struct {
 	Opt Options
 	// SingleStep disables the SPU's burst-execution fast path for every
-	// machine this context builds — the slow path the burst differential
-	// tests compare against. Results are identical either way; only
-	// wall-clock time differs.
+	// machine this context builds, by setting spu.Config.BurstMax to -1
+	// (see that field's doc comment for the canonical value semantics)
+	// — the slow path the burst differential tests compare against.
+	// Results are identical either way; only wall-clock time differs.
 	SingleStep bool
 	cache      map[runKey]*cell.Result
 	progs      map[progKey]*program.Program

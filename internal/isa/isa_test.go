@@ -194,3 +194,43 @@ func TestMustInfoPanicsOnUndefined(t *testing.T) {
 	}()
 	MustInfo(Op(240))
 }
+
+func TestBurstClasses(t *testing.T) {
+	// The LS-read class is exactly the local-store/frame reads; the
+	// register class is exactly the compute/control ops; everything
+	// that writes machine-visible state or talks to another component
+	// is BurstNone.
+	wantLS := map[Op]bool{LSRD: true, LSRD8: true, LSRDX: true, LSRDX8: true,
+		LOAD: true, LOADX: true}
+	for op := Op(0); int(op) < OpCount; op++ {
+		info, ok := Lookup(op)
+		if !ok {
+			continue
+		}
+		cls := ClassOf(op)
+		if wantLS[op] != (cls == BurstLSRead) {
+			t.Errorf("%s: class %d, want BurstLSRead=%v", info.Name, cls, wantLS[op])
+		}
+		switch info.Unit {
+		case UnitFX, UnitSH, UnitMUL, UnitDIV, UnitCTL:
+			if cls != BurstReg {
+				t.Errorf("%s: class %d, want BurstReg", info.Name, cls)
+			}
+		case UnitMEM, UnitDTA, UnitMFC:
+			if cls != BurstNone {
+				t.Errorf("%s: class %d, want BurstNone", info.Name, cls)
+			}
+		}
+		// Stores of any kind must never be burstable: their effects are
+		// visible to other components at the cycle they execute.
+		if info.Store && cls != BurstNone {
+			t.Errorf("%s: store op in burst class %d", info.Name, cls)
+		}
+		if Burstable(op) != (cls == BurstReg) {
+			t.Errorf("%s: Burstable=%v disagrees with class %d", info.Name, Burstable(op), cls)
+		}
+	}
+	if ClassOf(Op(250)) != BurstNone {
+		t.Error("undefined opcode must be BurstNone")
+	}
+}

@@ -262,23 +262,64 @@ func InfoOf(op Op) *Info {
 	return &infos[op]
 }
 
-// Burstable reports whether op touches only SPU-local register state:
-// no local store, main memory, frame, LSE, or MFC interaction, and no
-// result observable by any other machine component. This is the
-// instruction set the SPU's burst-execution fast path may run ahead of
-// the engine clock. Control flow qualifies — branch conditions and
-// targets live entirely in the pipeline.
-func Burstable(op Op) bool {
-	return int(op) < OpCount && burstableOps[op]
+// BurstClass classifies an opcode for the SPU's burst-execution fast
+// path — how far ahead of the engine clock the instruction may be
+// simulated.
+type BurstClass uint8
+
+const (
+	// BurstNone instructions must execute on the engine clock: they
+	// write memory or machine state another component observes (stores,
+	// main-memory traffic, LSE/MFC operations), or read state another
+	// component mutates asynchronously (MFCSTAT).
+	BurstNone BurstClass = iota
+	// BurstReg instructions touch only SPU-local register state: no
+	// local store, main memory, frame, LSE, or MFC interaction, and no
+	// result observable by any other machine component. They may be
+	// simulated arbitrarily far ahead of the engine clock. Control flow
+	// qualifies — branch conditions and targets live entirely in the
+	// pipeline.
+	BurstReg
+	// BurstLSRead instructions additionally read the SPE's local store
+	// (LSRD*/LOAD*). Their only interactions outside the register file
+	// are a functional read of the local store and a booking on the
+	// store's dedicated SPU port, which no other component shares — so
+	// they may run ahead of the engine clock exactly as far as the
+	// engine can prove no other component runs (and therefore nothing
+	// can write the local store): the caller's quiescence horizon,
+	// sim.Engine.HorizonExcluding.
+	BurstLSRead
+)
+
+// ClassOf returns the burst class of op (BurstNone for undefined
+// opcodes).
+func ClassOf(op Op) BurstClass {
+	if int(op) >= OpCount {
+		return BurstNone
+	}
+	return burstClasses[op]
 }
 
-var burstableOps = func() [opCount]bool {
-	var t [opCount]bool
+// Burstable reports whether op is register-only compute (BurstReg) —
+// burstable with no precondition.
+func Burstable(op Op) bool {
+	return ClassOf(op) == BurstReg
+}
+
+var burstClasses = func() [opCount]BurstClass {
+	var t [opCount]BurstClass
 	for op := Op(0); op < opCount; op++ {
 		switch infos[op].Unit {
 		case UnitFX, UnitSH, UnitMUL, UnitDIV, UnitCTL:
-			t[op] = true
+			t[op] = BurstReg
 		}
+	}
+	// Local-store and frame reads; their write-side counterparts
+	// (LSWR*, STORE*) stay BurstNone because a store must be visible to
+	// the MFC's PUT streaming and the LSE's frame reads at the cycle it
+	// architecturally happens.
+	for _, op := range []Op{LSRD, LSRD8, LSRDX, LSRDX8, LOAD, LOADX} {
+		t[op] = BurstLSRead
 	}
 	return t
 }()

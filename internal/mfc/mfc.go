@@ -357,6 +357,19 @@ func (e *Engine) dispatch(now sim.Cycle, ev timedEvent) {
 }
 
 // Tick processes the queue head and due events.
+//
+// Scheduling contract (the SPU's local-store burst window depends on
+// it): whenever the MFC has pending work that can touch the local
+// store — a queued command, a timer event that launches or completes a
+// transfer, PUT packets still streaming — the MFC is scheduled in the
+// engine no later than the cycle that work happens: Tick returns the
+// earliest pending event, and Enqueue/Deliver/popHead wake the engine
+// handle as they add work. The store is touched either during this
+// component's own Tick (PUT streaming reads) or during the network's
+// Tick (GET data arriving via Deliver), both of which the SPU's
+// quiescence horizon observes through the engine schedule and the
+// network's touch groups. An MFC change that mutates the store outside
+// these two paths would silently break that proof — don't.
 func (e *Engine) Tick(now sim.Cycle) sim.Cycle {
 	for len(e.events) > 0 && e.events[0].at <= now {
 		ev := sim.HeapPop(&e.events)

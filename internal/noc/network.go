@@ -25,6 +25,31 @@ func DefaultConfig() Config {
 	return Config{Buses: 4, BytesPerCyc: 8, HopLatency: 4}
 }
 
+// minOccupancy returns the fewest bus cycles any message can occupy:
+// even an empty payload carries the HeaderBytes wire header.
+func (c Config) minOccupancy() sim.Cycle {
+	occ := sim.Cycle((HeaderBytes + c.BytesPerCyc - 1) / c.BytesPerCyc)
+	if occ < 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// MinDeliveryLatency returns a lower bound on the cycles between a Send
+// at cycle c and that message's delivery: arbitration starts the cycle
+// after injection (Tick skips messages with arrival >= now), the bus
+// transfer occupies at least minOccupancy cycles (every message carries
+// the HeaderBytes header), and HopLatency is added on top. The SPU's
+// local-store burst window leans on this bound: an effect another
+// component originates at or after the component-agnostic quiescence
+// horizon cannot reach a local-store-writing endpoint any sooner. A
+// change to the arbitration rules or wire format that lets a message
+// deliver faster must update this bound (TestMinDeliveryLatency pins
+// it).
+func (c Config) MinDeliveryLatency() sim.Cycle {
+	return 1 + c.minOccupancy() + sim.Cycle(c.HopLatency)
+}
+
 // Stats aggregates interconnect activity.
 type Stats struct {
 	Messages   int64 // total messages delivered
@@ -39,15 +64,20 @@ type pending struct {
 	seq     int64     // tiebreak for deterministic FIFO ordering
 }
 
-type delivery struct {
-	msg Message
-	at  sim.Cycle
-	seq int64
+// delRef is one in-flight transfer in the delivery heap. The payload
+// Message lives in a slab (delSlab) so heap sifts move 24-byte refs
+// instead of ~100-byte messages, and the touch-group scan
+// (EarliestDeliveryTo) reads only this compact array.
+type delRef struct {
+	at   sim.Cycle
+	seq  int64
+	slot int32
+	grp  int16 // touch group of the destination (-1 unwatched)
 }
 
 // Before orders deliveries by (completion cycle, send order) for the
 // typed min-heap.
-func (d delivery) Before(o delivery) bool {
+func (d delRef) Before(o delRef) bool {
 	if d.at != o.at {
 		return d.at < o.at
 	}
@@ -72,7 +102,9 @@ type Network struct {
 	queue   []pending
 	qHead   int
 	busFree []sim.Cycle
-	dels    []delivery
+	dels    []delRef
+	delSlab []Message
+	delFree []int32
 	seq     int64
 	stats   Stats
 
@@ -83,6 +115,18 @@ type Network struct {
 	// producers (memory, every MFC) already hold a *Network, and a
 	// machine is single-threaded, so a plain LIFO needs no locking.
 	bufs [][]byte
+
+	// Touch groups (DeclareTouchGroup): epGroup maps an endpoint id to
+	// its group (-1 when unwatched); queuedTo counts the messages
+	// addressed to each group that still await arbitration and
+	// flightTo the ones on a bus awaiting delivery. The SPU's
+	// local-store burst window uses them to ask when the network could
+	// next deliver into one SPE's local store, without being clamped by
+	// traffic for every other endpoint; flightTo lets the in-flight
+	// scan short-circuit in the common no-traffic case.
+	epGroup  []int16
+	queuedTo []int32
+	flightTo []int32
 }
 
 // minBufCap is the minimum capacity of a pooled packet buffer. DMA
@@ -161,6 +205,78 @@ func (n *Network) endpoint(id int) Endpoint {
 	return n.eps[id]
 }
 
+// DeclareTouchGroup associates endpoints with a small group id so the
+// per-group message state (QueuedTo, EarliestDeliveryTo) is tracked.
+// The CellDTA machine declares one group per SPE, holding the SPE's
+// MFC and LSE endpoints — the only endpoints whose deliveries can
+// mutate that SPE's local store. An endpoint belongs to at most one
+// group, declared once at machine construction: moving an endpoint
+// whose messages are already queued or in flight would corrupt the
+// per-group counters (and with them the SPU burst window), so
+// re-declaring an endpoint into a different group panics.
+func (n *Network) DeclareTouchGroup(group int, eps ...int) {
+	if group < 0 {
+		panic(fmt.Sprintf("noc: negative touch group %d", group))
+	}
+	for group >= len(n.queuedTo) {
+		n.queuedTo = append(n.queuedTo, 0)
+		n.flightTo = append(n.flightTo, 0)
+	}
+	for _, ep := range eps {
+		if ep < 0 {
+			panic(fmt.Sprintf("noc: negative endpoint %d in touch group", ep))
+		}
+		for ep >= len(n.epGroup) {
+			n.epGroup = append(n.epGroup, -1)
+		}
+		if g := n.epGroup[ep]; g >= 0 && g != int16(group) {
+			panic(fmt.Sprintf("noc: endpoint %d already in touch group %d", ep, g))
+		}
+		n.epGroup[ep] = int16(group)
+	}
+}
+
+// groupOf returns the touch group of a destination (-1 when unwatched).
+func (n *Network) groupOf(dst int) int16 {
+	if dst < 0 || dst >= len(n.epGroup) {
+		return -1
+	}
+	return n.epGroup[dst]
+}
+
+// QueuedTo reports whether any message addressed to the group is still
+// waiting for arbitration. While true, a delivery to the group can
+// follow as soon as DeliveryLagLB cycles after the network's next tick
+// (the earliest a grant can happen).
+func (n *Network) QueuedTo(group int) bool {
+	return group >= 0 && group < len(n.queuedTo) && n.queuedTo[group] > 0
+}
+
+// EarliestDeliveryTo returns the earliest in-flight delivery cycle to
+// any endpoint of the group, or sim.Never when nothing addressed to
+// the group is on a bus. In-flight transfers deliver exactly at their
+// recorded cycle, so the result is exact, not a bound. The per-group
+// in-flight count makes the common no-traffic case O(1).
+func (n *Network) EarliestDeliveryTo(group int) sim.Cycle {
+	if group < 0 || group >= len(n.flightTo) || n.flightTo[group] == 0 {
+		return sim.Never
+	}
+	min := sim.Never
+	for i := range n.dels {
+		if d := &n.dels[i]; d.grp == int16(group) && d.at < min {
+			min = d.at
+		}
+	}
+	return min
+}
+
+// DeliveryLagLB returns a lower bound on the cycles between a bus
+// grant (which happens during a network tick) and the corresponding
+// delivery: the minimum bus occupancy plus the hop latency.
+func (n *Network) DeliveryLagLB() sim.Cycle {
+	return n.cfg.minOccupancy() + sim.Cycle(n.cfg.HopLatency)
+}
+
 // Stats returns a copy of the accumulated statistics.
 func (n *Network) Stats() Stats { return n.stats }
 
@@ -173,12 +289,20 @@ func (n *Network) Reset() {
 	}
 	n.queue = n.queue[:0]
 	n.qHead = 0
-	for i := range n.dels {
-		n.dels[i] = delivery{} // release payload references
-	}
 	n.dels = n.dels[:0]
+	for i := range n.delSlab {
+		n.delSlab[i] = Message{} // release payload references
+	}
+	n.delSlab = n.delSlab[:0]
+	n.delFree = n.delFree[:0]
 	for i := range n.busFree {
 		n.busFree[i] = 0
+	}
+	for i := range n.queuedTo {
+		n.queuedTo[i] = 0
+	}
+	for i := range n.flightTo {
+		n.flightTo[i] = 0
 	}
 	n.seq = 0
 	n.stats = Stats{}
@@ -191,6 +315,9 @@ func (n *Network) Send(now sim.Cycle, m Message) {
 		panic(fmt.Sprintf("noc: send to unregistered endpoint: %s", m))
 	}
 	n.seq++
+	if g := n.groupOf(m.Dst); g >= 0 {
+		n.queuedTo[g]++
+	}
 	n.queue = append(n.queue, pending{msg: m, arrival: now, seq: n.seq})
 	if q := len(n.queue) - n.qHead; q > n.stats.MaxQueue {
 		n.stats.MaxQueue = q
@@ -230,7 +357,21 @@ func (n *Network) Tick(now sim.Cycle) sim.Cycle {
 		n.stats.BusyCycles += int64(occ)
 		n.stats.Bytes += int64(p.msg.WireSize())
 		n.seq++
-		sim.HeapPush(&n.dels, delivery{msg: p.msg, at: now + occ + sim.Cycle(n.cfg.HopLatency), seq: p.seq})
+		g := n.groupOf(p.msg.Dst)
+		if g >= 0 {
+			n.queuedTo[g]-- // granted: now visible to EarliestDeliveryTo
+			n.flightTo[g]++
+		}
+		var slot int32
+		if k := len(n.delFree); k > 0 {
+			slot = n.delFree[k-1]
+			n.delFree = n.delFree[:k-1]
+		} else {
+			n.delSlab = append(n.delSlab, Message{})
+			slot = int32(len(n.delSlab) - 1)
+		}
+		n.delSlab[slot] = p.msg
+		sim.HeapPush(&n.dels, delRef{at: now + occ + sim.Cycle(n.cfg.HopLatency), seq: p.seq, slot: slot, grp: g})
 		n.queue[n.qHead] = pending{} // release Data for the GC
 		n.qHead++
 	}
@@ -248,8 +389,14 @@ func (n *Network) Tick(now sim.Cycle) sim.Cycle {
 	// Complete due deliveries.
 	for len(n.dels) > 0 && n.dels[0].at <= now {
 		d := sim.HeapPop(&n.dels)
+		if d.grp >= 0 {
+			n.flightTo[d.grp]--
+		}
+		msg := n.delSlab[d.slot]
+		n.delSlab[d.slot] = Message{} // release Data for the GC
+		n.delFree = append(n.delFree, d.slot)
 		n.stats.Messages++
-		n.eps[d.msg.Dst].Deliver(now, d.msg)
+		n.eps[msg.Dst].Deliver(now, msg)
 	}
 
 	return n.nextEvent(now)

@@ -83,6 +83,37 @@ func (h *Handle) Wake(at Cycle) {
 	h.e.wake(h.idx, at)
 }
 
+// ID returns the component's registration index — its identity for
+// Engine.HorizonExcluding.
+func (h *Handle) ID() int32 { return h.idx }
+
+// Horizon is Engine.HorizonExcluding for the handle's component.
+func (h *Handle) Horizon() Cycle {
+	if h == nil || h.e == nil {
+		return Never
+	}
+	return h.e.HorizonExcluding(h.idx)
+}
+
+// SchedStamp exposes Engine.SchedStamp to components that only hold a
+// handle.
+func (h *Handle) SchedStamp() uint64 {
+	if h == nil || h.e == nil {
+		return 0
+	}
+	return h.e.SchedStamp()
+}
+
+// Engine returns the engine the handle belongs to (nil for a detached
+// handle) — for components that combine HorizonExcluding with
+// NextScheduled queries about specific peers.
+func (h *Handle) Engine() *Engine {
+	if h == nil {
+		return nil
+	}
+	return h.e
+}
+
 // notQueued marks a component that is not in the heap.
 const notQueued int32 = -1
 
@@ -146,6 +177,15 @@ type Engine struct {
 	selfWake   Cycle // earliest self-wake posted during the current Tick
 	running    bool  // inside a pass (passList/ticking are live)
 
+	// schedStamp invalidates cached HorizonExcluding results: it is
+	// bumped whenever an entry is inserted into (or moved earlier in)
+	// the schedule, i.e. whenever the horizon could shrink. Entries
+	// that leave the schedule, or join it at a cycle not earlier than
+	// the one they already tick at (bucket re-ticks, pass drains), can
+	// only push the horizon out, so they leave the stamp alone and a
+	// stale cached horizon stays conservative.
+	schedStamp uint64
+
 	stopped bool
 	stopAt  Cycle
 }
@@ -170,6 +210,88 @@ func (e *Engine) Register(c Component) *Handle {
 
 // Now reports the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
+
+// SchedStamp returns a monotonically increasing counter bumped whenever
+// the engine's schedule gains an entry or an existing entry moves to an
+// earlier cycle — the only events that can move a quiescence horizon
+// earlier. A component may cache HorizonExcluding's result for as long
+// as the stamp is unchanged: the cached value can become stale only in
+// the conservative direction (the true horizon moved later).
+func (e *Engine) SchedStamp() uint64 { return e.schedStamp }
+
+// NextScheduled returns the next cycle at which component id is due to
+// run: the current cycle while it is ticking or still pending in the
+// current pass, its bucket or heap slot otherwise, and Never when it
+// sleeps until woken. Combined with HorizonExcluding it lets a
+// component bound when a *specific* peer can next act — e.g. the SPU's
+// local-store burst window, which distinguishes the components wired
+// to its local store from everyone else.
+func (e *Engine) NextScheduled(id int32) Cycle {
+	if e.running && (id == e.ticking || e.pendingInPass(id)) {
+		return e.now
+	}
+	if e.inNextSeq[id] == e.bucketSeq {
+		return e.nextAt
+	}
+	if p := e.pos[id]; p != notQueued {
+		return e.heap[p].at
+	}
+	return Never
+}
+
+// HorizonExcluding returns the quiescence horizon of component id: the
+// earliest cycle — counting the current one — at which any component
+// other than id is scheduled to run, or Never when no other component
+// has pending work. During a pass the components still due on the
+// current cycle count, so a caller inside Tick sees e.Now() whenever
+// another component runs later in the same pass (or in an extra pass
+// over the same cycle).
+//
+// The contract this buys: no component other than id can execute — and
+// therefore nothing outside id's own state can change — at any cycle t
+// in [now, horizon). Work a component performs for such cycles ahead of
+// the engine clock (the SPU's local-store read bursts) is
+// indistinguishable from having run it cycle by cycle, provided the
+// component re-checks the horizon (via SchedStamp) after any action of
+// its own that may schedule other components. Scheduling is the single
+// source of truth here: every component with pending future work is
+// required to be scheduled no later than that work's cycle — a
+// component that sat unscheduled on pending work would already deadlock
+// the machine today, so the horizon adds no new obligation.
+func (e *Engine) HorizonExcluding(id int32) Cycle {
+	min := Never
+	// Components still pending in the current pass run at e.now, which
+	// cannot be beaten: return immediately. The pending tail is sorted
+	// and holds each component at most once, so "anything besides id"
+	// is a length check.
+	if e.running {
+		pend := len(e.passList) - (e.passCursor + 1)
+		if pend > 1 || (pend == 1 && e.passList[e.passCursor+1] != id) {
+			return e.now
+		}
+	}
+	// The uniform-cycle bucket: live entries all run at nextAt.
+	if e.nextLive > 1 || (e.nextLive == 1 && e.inNextSeq[id] != e.bucketSeq) {
+		min = e.nextAt
+	}
+	// The heap: its root is the earliest entry; when the root is id
+	// itself, the earliest other entry is one of the root's children
+	// (id appears at most once).
+	if n := len(e.heap); n > 0 {
+		if e.heap[0].idx != id {
+			if e.heap[0].at < min {
+				min = e.heap[0].at
+			}
+		} else {
+			for p := 1; p <= 2 && p < n; p++ {
+				if e.heap[p].at < min {
+					min = e.heap[p].at
+				}
+			}
+		}
+	}
+	return min
+}
 
 // Reset returns the engine to cycle 0 with every registered component
 // scheduled for the first pass, exactly as if each had just been
@@ -482,6 +604,7 @@ func (e *Engine) pendingInPass(i int32) bool {
 // pending tail is typically short, and i > passList[passCursor] by
 // construction.
 func (e *Engine) insertIntoPass(i int32) {
+	e.schedStamp++
 	p := e.pendingLowerBound(i)
 	e.passList = append(e.passList, 0)
 	copy(e.passList[p+1:], e.passList[p:])
@@ -494,11 +617,13 @@ func (e *Engine) insertIntoPass(i int32) {
 func (e *Engine) schedule(i int32, at Cycle) {
 	if p := e.pos[i]; p != notQueued {
 		if at < e.heap[p].at {
+			e.schedStamp++
 			e.heap[p].at = at
 			e.siftUp(p)
 		}
 		return
 	}
+	e.schedStamp++
 	p := int32(len(e.heap))
 	e.heap = append(e.heap, entry{at: at, idx: i})
 	e.pos[i] = p

@@ -49,11 +49,21 @@ type Config struct {
 	// BurstMax bounds the burst-execution fast path: the maximum number
 	// of pipeline cycles the SPU may simulate inside one engine Tick
 	// when the upcoming instructions are straight-line register-only
-	// compute (isa.Burstable). The burst is cycle- and metric-identical
-	// to single-step execution — it only skips engine round-trips for
-	// cycles no other component can observe. 0 selects DefaultBurstMax;
-	// 1 or negative disables bursting entirely (the single-step slow
-	// path that the differential tests compare against).
+	// compute (isa.BurstReg), or local-store reads under an
+	// engine-proved quiescence horizon (isa.BurstLSRead). The burst is
+	// cycle- and metric-identical to single-step execution — it only
+	// skips engine round-trips for cycles no other component can
+	// observe.
+	//
+	// Canonical value semantics (harness.Context.SingleStep and
+	// synth.CheckOptions.DiffBurst defer to this definition):
+	//
+	//	 0   selects DefaultBurstMax — bursting enabled;
+	//	 1   and every negative value disable bursting entirely: the
+	//	     single-step slow path, at most one pipeline cycle per
+	//	     engine tick, which the differential suites run as the
+	//	     reference;
+	//	 n>1 caps each burst window at n pipeline cycles.
 	BurstMax int
 }
 
@@ -87,6 +97,47 @@ const (
 	prodLS // local store / frame load
 )
 
+// uop flag bits.
+const (
+	uopMem      uint8 = 1 << iota // issues in the memory slot of the dual-issue pipeline
+	uopBranch                     // control transfer (JMP / conditional branches)
+	uopBurstReg                   // this and the next instruction are isa.BurstReg
+	uopBurstLS                    // this and the next instruction are isa.BurstReg or isa.BurstLSRead
+	uopExtern                     // isa.BurstNone: executing this op may wake another component
+)
+
+// uop is the decoded, SPU-resident form of one instruction: the
+// instruction word itself plus the static per-instruction facts the
+// issue path needs every cycle, precomputed once per template block so
+// the hot loop does no isa.Info lookups or format dispatch and touches
+// a single cache-friendly record per pc. The two burst bits describe
+// the instruction *pair* at (pc, pc+1) — the furthest one issue cycle
+// can reach — mirroring the burst-mask convention: the last instruction
+// of a block carries neither bit, so block transitions always run on
+// the engine clock.
+type uop struct {
+	ins   isa.Instruction
+	lat   int32    // cfg-resolved result latency of the executing unit
+	srcs  [3]uint8 // registers the scoreboard must clear before issue
+	nsrc  uint8
+	flags uint8
+	cls   uint8 // instruction-mix class for stats.InstrCounts (icls*)
+}
+
+// Instruction-mix classes, precomputed per opcode so the per-issue
+// statistics update is an indexed switch instead of a 40-way opcode
+// dispatch.
+const (
+	iclsOther uint8 = iota
+	iclsLoad
+	iclsStore
+	iclsRead
+	iclsWrite
+	iclsLSDir
+	iclsDTA
+	iclsMFC
+)
+
 // SPU is one processing element's pipeline.
 type SPU struct {
 	cfg   Config
@@ -108,15 +159,16 @@ type SPU struct {
 	cur     *dta.Thread
 	curKind dta.WorkKind
 	block   program.BlockKind
-	code    []isa.Instruction
 	pc      int
 
-	// mask is the burst mask of the current code block (masks caches
-	// one per template block): mask[pc] is true when the instructions
-	// at pc and pc+1 are both register-only compute, i.e. one cycle
-	// starting at pc cannot touch anything outside the pipeline.
-	mask  []bool
-	masks [][]bool
+	// uops is the decoded form of the current code block (uopTab caches
+	// one table per template block): uops[pc] carries the instruction
+	// plus everything the per-cycle issue path would otherwise re-derive
+	// from isa.Info on every visit — scoreboard sources, issue slot,
+	// branchness, the configured result latency — and the dual burst
+	// masks of the instruction pair starting at pc (see uop).
+	uops   []uop
+	uopTab [][]uop
 
 	ph          phase
 	gapBucket   stats.Bucket // bucket for cycles while sleeping
@@ -125,6 +177,24 @@ type SPU struct {
 	burstLimit  sim.Cycle    // resolved Config.BurstMax (>= 1)
 	resumeAt    sim.Cycle    // burst horizon: cycles below are already simulated
 	stallUntil  sim.Cycle    // ready cycle of the register that blocked issue
+
+	// hzn caches the engine's quiescence horizon (the earliest cycle
+	// any other component is scheduled to run — the window in which
+	// local-store reads may be simulated ahead of the engine clock).
+	// hznDirty marks moments the cache may have moved: set at Tick
+	// entry (other components ran since the last tick) and whenever an
+	// instruction that can wake another component executes (uopExtern);
+	// lsHorizon then revalidates against the engine's schedule stamp.
+	hzn      sim.Cycle
+	hznStamp uint64
+	hznDirty bool
+
+	// lsw is the machine's wiring declaration for the LS-read burst
+	// window (SetLSWiring); lsWired gates the refined horizon — without
+	// it the SPU falls back to the component-agnostic horizon.
+	lsw     LSWiring
+	lsWired bool
+	eng     *sim.Engine
 
 	readDst  uint8
 	reqSeq   int64
@@ -163,34 +233,174 @@ func New(cfg Config, id, spe, memID int, net *noc.Network, lseUnit *dta.LSE,
 	} else if cfg.BurstMax < 1 {
 		s.burstLimit = 1
 	}
-	s.masks = make([][]bool, len(prog.Templates)*int(program.NumBlocks))
+	s.uopTab = make([][]uop, len(prog.Templates)*int(program.NumBlocks))
 	return s
 }
 
-// maskFor returns (computing on first use) the burst mask of one
-// template code block: maskFor(t,b)[pc] is true when the instructions
-// at pc and pc+1 are both isa.Burstable. The last instruction of a
-// block is never burstable — the block transition must run on the
-// engine clock.
-func (s *SPU) maskFor(tmpl int, blk program.BlockKind) []bool {
+// uopsFor returns (decoding on first use) the uop table of one template
+// code block.
+func (s *SPU) uopsFor(tmpl int, blk program.BlockKind) []uop {
 	idx := tmpl*int(program.NumBlocks) + int(blk)
-	if m := s.masks[idx]; m != nil {
-		return m
+	if u := s.uopTab[idx]; u != nil {
+		return u
 	}
-	code := s.prog.Templates[tmpl].Blocks[blk]
-	m := make([]bool, len(code))
+	u := s.buildUops(s.prog.Templates[tmpl].Blocks[blk])
+	s.uopTab[idx] = u
+	return u
+}
+
+// buildUops decodes one code block. It is the single place the static
+// instruction metadata (operand format, issue slot, unit latency, burst
+// class) is consulted; the per-cycle paths read only the resulting
+// uops.
+func (s *SPU) buildUops(code []isa.Instruction) []uop {
+	us := make([]uop, len(code))
+	for i, ins := range code {
+		info := isa.InfoOf(ins.Op)
+		u := &us[i]
+		u.ins = ins
+		u.cls = instrClass(ins.Op)
+		switch info.Fmt {
+		case isa.FmtRa, isa.FmtRdRa, isa.FmtRdRaImm:
+			u.srcs[0], u.nsrc = ins.Ra, 1
+		case isa.FmtRdRaRb, isa.FmtRaRbImm, isa.FmtRdRaRbIm:
+			u.srcs[0], u.srcs[1], u.nsrc = ins.Ra, ins.Rb, 2
+		}
+		// Stores read their value register (Rd) too.
+		switch ins.Op {
+		case isa.STORE, isa.STOREX, isa.WRITE, isa.WRITE8, isa.LSWR, isa.LSWR8,
+			isa.LSWRX, isa.LSWRX8:
+			u.srcs[u.nsrc], u.nsrc = ins.Rd, u.nsrc+1
+		}
+		if info.Unit.MemSlot() {
+			u.flags |= uopMem
+		}
+		if info.Branch {
+			u.flags |= uopBranch
+		}
+		if isa.ClassOf(ins.Op) == isa.BurstNone {
+			u.flags |= uopExtern
+		}
+		u.lat = int32(s.latFor(info.Unit))
+	}
 	for i := 0; i+1 < len(code); i++ {
-		m[i] = isa.Burstable(code[i].Op) && isa.Burstable(code[i+1].Op)
+		a, b := isa.ClassOf(code[i].Op), isa.ClassOf(code[i+1].Op)
+		if a == isa.BurstNone {
+			continue
+		}
+		if b == isa.BurstNone {
+			// The second instruction of the would-be issue pair is not
+			// burst-safe, but the cycle starting at i is still safe to
+			// pre-execute when the second instruction provably cannot
+			// join it: either both compete for the same issue slot
+			// (structural), or the second reads the first's destination
+			// register, whose result lands at least one cycle later
+			// (data dependence — the scoreboard blocks it exactly as in
+			// single-step execution). The pre-executed cycle then issues
+			// only the first instruction, and the burst loop stops at
+			// the second, which runs on the engine clock.
+			if !secondCannotJoin(&us[i], &us[i+1], code[i]) {
+				continue
+			}
+			// Only the first instruction executes in this cycle, so the
+			// cycle's burst class is the first's alone.
+			b = isa.BurstReg
+		}
+		if a == isa.BurstReg && b == isa.BurstReg {
+			us[i].flags |= uopBurstReg | uopBurstLS
+		} else {
+			us[i].flags |= uopBurstLS
+		}
 	}
-	s.masks[idx] = m
-	return m
+	return us
+}
+
+// secondCannotJoin reports whether the instruction decoded as sec can
+// never issue in the same cycle as fst (the instruction word insFst,
+// already issued first): they compete for the same slot, or sec reads
+// insFst's destination register and insFst's result latency is at
+// least one cycle, so the scoreboard blocks sec until after this
+// cycle. Both facts are static: registers come from the encodings and
+// the latency from the decoded uop. RegZero writes are discarded (no
+// scoreboard entry), so they prove nothing.
+func secondCannotJoin(fst, sec *uop, insFst isa.Instruction) bool {
+	if fst.flags&uopMem == sec.flags&uopMem {
+		return true // structural: one memory and one compute slot per cycle
+	}
+	if insFst.Rd == isa.RegZero || fst.lat < 1 || !writesRd(insFst.Op) {
+		return false
+	}
+	for k := uint8(0); k < sec.nsrc; k++ {
+		if sec.srcs[k] == insFst.Rd {
+			return true
+		}
+	}
+	return false
+}
+
+// writesRd reports whether op architecturally writes its Rd field (true
+// for every burstable op whose format carries a destination; branches,
+// JMP and NOP carry none).
+func writesRd(op isa.Op) bool {
+	switch isa.InfoOf(op).Fmt {
+	case isa.FmtRdImm, isa.FmtRdRa, isa.FmtRdRaRb, isa.FmtRdRaImm, isa.FmtRdRaRbIm:
+		return !isa.InfoOf(op).Store
+	}
+	return false
 }
 
 // Name implements sim.Component.
 func (s *SPU) Name() string { return fmt.Sprintf("spu%d", s.spe) }
 
 // Attach stores the engine wake handle.
-func (s *SPU) Attach(h *sim.Handle) { s.handle = h }
+func (s *SPU) Attach(h *sim.Handle) {
+	s.handle = h
+	s.eng = h.Engine()
+}
+
+// LSWiring is the machine's declaration of everything that can touch
+// this SPE's local store, in engine and interconnect terms. Components
+// with pending LS-mutating work advertise it simply by being
+// scheduled: the engine requires a component with pending work to be
+// scheduled no later than that work's cycle (an unscheduled one would
+// deadlock the machine today), so NextScheduled over the ids below,
+// plus the network's per-group message state, bounds the next possible
+// local-store mutation.
+type LSWiring struct {
+	// NetID, LSEID, MFCID are the engine identities (Handle.ID) of the
+	// interconnect, this SPE's LSE and this SPE's MFC — the only
+	// components whose Ticks read or write this local store: the LSE
+	// performs frame stores, the MFC streams PUT data out, and DMA/frame
+	// traffic from everywhere else lands via a network delivery. MemID
+	// is main memory's engine identity: memory is the only sender of
+	// DMA data (the messages whose delivery writes the store with no
+	// further tick), which earns every other component one extra cycle
+	// in the chain bound — their effects land in the LSE's inbox and
+	// wait for an LSE service tick after delivery.
+	NetID, LSEID, MFCID, MemID int32
+	// TouchGroup is the network touch group (noc.DeclareTouchGroup)
+	// holding this SPE's MFC and LSE endpoints: the network's tick
+	// touches this local store only when it delivers to one of them.
+	TouchGroup int
+	// ChainLat is a lower bound on the cycles ANY other component needs
+	// from its own tick to an effect on this local store; every such
+	// path crosses the interconnect, so the machine passes
+	// noc.Config.MinDeliveryLatency.
+	ChainLat sim.Cycle
+	// GrantLag is a lower bound on the cycles between a network tick
+	// that grants a queued message and the resulting delivery
+	// (noc.Network.DeliveryLagLB).
+	GrantLag sim.Cycle
+}
+
+// SetLSWiring declares the machine wiring the LS-read burst path leans
+// on; see LSWiring. Without it the SPU uses the component-agnostic
+// quiescence horizon, which is correct but clamps on unrelated
+// components.
+func (s *SPU) SetLSWiring(w LSWiring) {
+	s.lsw = w
+	s.lsWired = true
+}
 
 // Wake prods the SPU (used by the LSE's OnWork callback).
 func (s *SPU) Wake(now sim.Cycle) {
@@ -203,21 +413,20 @@ func (s *SPU) Wake(now sim.Cycle) {
 func (s *SPU) Stats() stats.SPU { return s.st }
 
 // Reset returns the pipeline to its post-construction state for
-// machine reuse, rebinding it to prog (the burst-mask cache is sized
-// by the program's template count). Wiring (Fault, Magic, handle) is
-// kept.
+// machine reuse, rebinding it to prog (the uop cache is sized by the
+// program's template count). Wiring (Fault, Magic, handle) is kept.
 func (s *SPU) Reset(prog *program.Program) {
 	if prog != s.prog {
-		// The burst-mask cache is keyed by template block; it stays
-		// valid when the same program is re-run.
+		// The uop cache is keyed by template block; it stays valid when
+		// the same program is re-run.
 		n := len(prog.Templates) * int(program.NumBlocks)
-		if n <= cap(s.masks) {
-			s.masks = s.masks[:n]
-			for i := range s.masks {
-				s.masks[i] = nil
+		if n <= cap(s.uopTab) {
+			s.uopTab = s.uopTab[:n]
+			for i := range s.uopTab {
+				s.uopTab[i] = nil
 			}
 		} else {
-			s.masks = make([][]bool, n)
+			s.uopTab = make([][]uop, n)
 		}
 	}
 	s.prog = prog
@@ -226,15 +435,16 @@ func (s *SPU) Reset(prog *program.Program) {
 	}
 	s.cur, s.curKind = nil, dta.WorkNone
 	s.block = 0
-	s.code = nil
 	s.pc = 0
-	s.mask = nil
+	s.uops = nil
 	s.ph = phIdle
 	s.gapBucket = stats.Idle
 	s.accounted = 0
 	s.nextIssueAt = 0
 	s.resumeAt = 0
 	s.stallUntil = 0
+	s.hzn = 0
+	s.hznStamp = 0
 	s.readDst = 0
 	s.reqSeq = 0
 	s.fallocRd = 0
@@ -327,15 +537,13 @@ func (s *SPU) dispatch(now sim.Cycle) bool {
 	s.regs[isa.RegPFB] = int64(th.BufAddr)
 	s.regs[isa.RegSPE] = int64(s.spe)
 	s.regs[isa.RegTag] = th.Seq
-	tmpl := s.prog.Templates[th.Template]
 	if kind == dta.WorkPF {
 		s.block = program.PF
 		s.st.PFBlocks++
 	} else {
 		s.block = program.PL
 	}
-	s.code = tmpl.Blocks[s.block]
-	s.mask = s.maskFor(th.Template, s.block)
+	s.uops = s.uopsFor(th.Template, s.block)
 	s.pc = 0
 	s.skipEmptyBlocks(now)
 	s.nextIssueAt = now + sim.Cycle(s.cfg.DispatchCost)
@@ -346,7 +554,7 @@ func (s *SPU) dispatch(now sim.Cycle) bool {
 // skipEmptyBlocks advances past empty code blocks (e.g. a thread with no
 // PL). Returns false when the work unit is exhausted.
 func (s *SPU) skipEmptyBlocks(now sim.Cycle) bool {
-	for s.cur != nil && s.pc >= len(s.code) {
+	for s.cur != nil && s.pc >= len(s.uops) {
 		if !s.advanceBlock(now) {
 			return false
 		}
@@ -375,8 +583,7 @@ func (s *SPU) advanceBlock(now sim.Cycle) bool {
 		s.cur = nil
 		return false
 	}
-	s.code = s.prog.Templates[s.cur.Template].Blocks[s.block]
-	s.mask = s.maskFor(s.cur.Template, s.block)
+	s.uops = s.uopsFor(s.cur.Template, s.block)
 	s.pc = 0
 	return true
 }
@@ -392,10 +599,19 @@ func (s *SPU) bucketFor(b stats.Bucket) stats.Bucket {
 
 // Tick executes one or more pipeline cycles. The burst fast path: when
 // the upcoming instructions are straight-line register-only compute
-// (isa.Burstable — no load/store/DMA/sync and nothing another component
+// (isa.BurstReg — no load/store/DMA/sync and nothing another component
 // can observe), the SPU simulates up to burstLimit cycles in one call
 // and returns the horizon, so the engine skips the dead cycles
-// entirely. Every simulated cycle goes through the exact same
+// entirely. Local-store reads (isa.BurstLSRead: LSRD*/LOAD*) burst
+// too, for simulated cycles t strictly below the engine's quiescence
+// horizon (sim.Engine.HorizonExcluding): until t, no other component
+// runs, so nothing — no MFC write-back, LSE frame delivery, or network
+// delivery — can write this SPE's local store, and a read simulated at
+// engine-time now is byte- and cycle-identical to one executed at t.
+// The horizon is revalidated against the engine's schedule stamp, so
+// anything the SPU itself schedules mid-burst (a wake posted by the
+// first, unrestricted cycle of the window) shrinks the window
+// immediately. Every simulated cycle goes through the exact same
 // issueCycle/chargeCycle path as single-step execution, so cycle
 // counts, stall attribution and instruction statistics are identical.
 //
@@ -407,7 +623,10 @@ func (s *SPU) bucketFor(b stats.Bucket) stats.Bucket {
 // token posts — and the differential suite asserts exact burst ==
 // single-step identity across the synth corpus, the paper experiments
 // and the machine tests. Similarly, a Config.MaxCycles abort may be
-// detected up to burstLimit cycles later than in single-step mode.
+// detected up to burstLimit cycles later than in single-step mode, and
+// a fault raised by a pre-executed instruction (e.g. a LOADX slot
+// taken from data) aborts the run at the engine cycle the burst
+// started rather than the simulated cycle of the instruction.
 func (s *SPU) Tick(now sim.Cycle) sim.Cycle {
 	if now < s.resumeAt {
 		// An early wake (e.g. the LSE's OnWork) landed inside a burst
@@ -415,6 +634,7 @@ func (s *SPU) Tick(now sim.Cycle) sim.Cycle {
 		// horizon. Running-thread execution never depends on wakes.
 		return s.resumeAt
 	}
+	s.hznDirty = true // other components may have run since the last tick
 	next := s.tick(now)
 	if next == sim.Never {
 		s.resumeAt = 0
@@ -458,7 +678,7 @@ func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 			}
 			s.chargeCycles(t, int64(end-t), s.bucketFor(stats.Working))
 			t = end
-			if t >= limit || !s.burstable() {
+			if t >= limit || !s.burstableAt(t) {
 				return t
 			}
 		}
@@ -492,23 +712,105 @@ func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 			// to the engine exactly as single-step execution does.
 			return t
 		}
-		if t >= s.nextIssueAt && !s.burstable() {
+		if t >= s.nextIssueAt && !s.burstableAt(t) {
 			return t
 		}
 	}
 }
 
-// burstable reports whether the next pipeline cycle can be simulated
-// without returning to the engine: the SPU is running a PL/EX/PS block
-// and the next two sequential instructions — the only ones one cycle
-// can reach — are register-only compute (the precomputed block mask).
-// Anything touching the local store, main memory, the LSE or the MFC
-// must execute on the engine clock, where the rest of the machine has
-// caught up. PF blocks are excluded because falling off their end
-// notifies the LSE.
-func (s *SPU) burstable() bool {
-	return s.cur != nil && s.curKind == dta.WorkThread &&
-		s.pc < len(s.mask) && s.mask[s.pc]
+// burstableAt reports whether pipeline cycle t — always a cycle the
+// burst loop would simulate ahead of the engine clock, t > Now — can
+// run without returning to the engine: the SPU is running a PL/EX/PS
+// block and the next two sequential instructions — the only ones one
+// cycle can reach — are register-only compute (always burstable), or
+// local-store reads mixed with compute (burstable while t is inside
+// the engine-proved quiescence window, t < lsHorizon). Everything else
+// (stores, main memory, the LSE, the MFC) must execute on the engine
+// clock, where the rest of the machine has caught up. PF blocks are
+// excluded because falling off their end notifies the LSE.
+func (s *SPU) burstableAt(t sim.Cycle) bool {
+	if s.cur == nil || s.curKind != dta.WorkThread || s.pc >= len(s.uops) {
+		return false
+	}
+	f := s.uops[s.pc].flags
+	if f&uopBurstReg != 0 {
+		return true
+	}
+	return f&uopBurstLS != 0 && t < s.lsHorizon()
+}
+
+// lsHorizon returns the engine's quiescence horizon for this SPU — the
+// earliest cycle at which any other component is scheduled to run, and
+// hence the first cycle at which the local store could be written by
+// someone else. The cache is revalidated only at hznDirty moments
+// (tick entry, after a uopExtern instruction): those are the only
+// points the schedule can have gained entries, because nothing else
+// runs during this SPU's Tick. Revalidation compares the engine's
+// schedule stamp — insertions bump it and force a re-read, while a
+// stale cache under an unchanged stamp can only be earlier than the
+// true horizon, i.e. conservative.
+func (s *SPU) lsHorizon() sim.Cycle {
+	if s.hznDirty {
+		s.hznDirty = false
+		if st := s.handle.SchedStamp(); st != s.hznStamp {
+			s.hznStamp = st
+			s.hzn = s.computeHorizon()
+		}
+	}
+	return s.hzn
+}
+
+// computeHorizon derives the first cycle at which this SPE's local
+// store could be touched by someone else. With the machine's wiring
+// declaration (SetLSWiring) it is the earliest of:
+//
+//   - the next scheduled cycle of this SPE's LSE or MFC;
+//   - the exact cycle of the earliest in-flight network delivery to
+//     this SPE's MFC/LSE endpoints, and — while a message to them is
+//     still queued for arbitration — the network's next tick plus the
+//     grant-to-delivery lag;
+//   - the component-agnostic quiescence horizon plus the
+//     interconnect's minimum delivery latency: any component outside
+//     the set above (another SPE, a DSE, the PPE, main memory) first
+//     has to run, no earlier than the horizon, and then cross the
+//     interconnect before it can reach this store.
+//
+// Network ticks that only serve other endpoints' traffic — including
+// this SPU's own posted WRITEs to main memory — no longer clamp the
+// window. Without wiring it degrades to the quiescence horizon alone.
+func (s *SPU) computeHorizon() sim.Cycle {
+	h := s.handle.Horizon()
+	if s.eng == nil || !s.lsWired {
+		return h
+	}
+	if h != sim.Never {
+		// Generic bound for every other component: it must run (no
+		// earlier than the quiescence horizon), cross the interconnect
+		// (ChainLat), and — since only main memory sends the DMA data
+		// messages whose delivery itself writes the store — its effect
+		// lands in our LSE's inbox and waits one more cycle for an LSE
+		// service tick. (If our LSE were already scheduled at the
+		// delivery cycle, its own term below caps the window first.)
+		h += s.lsw.ChainLat + 1
+	}
+	if n := s.eng.NextScheduled(s.lsw.MemID); n != sim.Never && n+s.lsw.ChainLat < h {
+		h = n + s.lsw.ChainLat // memory's DMA data writes the store at delivery
+	}
+	if n := s.eng.NextScheduled(s.lsw.LSEID); n < h {
+		h = n
+	}
+	if n := s.eng.NextScheduled(s.lsw.MFCID); n < h {
+		h = n
+	}
+	if d := s.net.EarliestDeliveryTo(s.lsw.TouchGroup); d < h {
+		h = d
+	}
+	if s.net.QueuedTo(s.lsw.TouchGroup) {
+		if n := s.eng.NextScheduled(s.lsw.NetID); n != sim.Never && n+s.lsw.GrantLag < h {
+			h = n + s.lsw.GrantLag
+		}
+	}
+	return h
 }
 
 // issueCycle attempts to issue up to two instructions at cycle now. It
@@ -521,22 +823,24 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, int, bool) {
 	s.stallUntil = 0
 
 	for issued < 2 && s.cur != nil {
-		if !s.skipEmptyBlocks(now) {
-			break // work unit ended (PF completion)
+		if s.pc >= len(s.uops) {
+			if !s.skipEmptyBlocks(now) {
+				break // work unit ended (PF completion)
+			}
 		}
-		ins := s.code[s.pc]
-		info := isa.InfoOf(ins.Op)
-		isMem := info.Unit.MemSlot()
+		u := &s.uops[s.pc]
+		ins := u.ins
+		isMem := u.flags&uopMem != 0
 		if (isMem && memUsed) || (!isMem && cmpUsed) {
 			break // structural: slot taken this cycle
 		}
-		if blocked, cause := s.operandsBlocked(now, ins, info); blocked {
+		if blocked, cause := s.operandsBlocked(now, u); blocked {
 			if issued == 0 {
 				bucket = s.bucketFor(cause)
 			}
 			break
 		}
-		ok, sleep, cause := s.execute(now, ins, info)
+		ok, sleep, cause := s.execute(now, ins, u)
 		if !ok {
 			// Structural stall outside the pipeline (LSE/MFC full).
 			if issued == 0 {
@@ -546,7 +850,13 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, int, bool) {
 		}
 		issued++
 		s.st.IssuedSlots++
-		s.countInstr(ins.Op)
+		s.countInstr(u.cls)
+		if u.flags&uopExtern != 0 {
+			// The op may have scheduled another component (a wake posted
+			// to the LSE, MFC, or network): revalidate the horizon
+			// before pre-executing anything.
+			s.hznDirty = true
+		}
 		if isMem {
 			memUsed = true
 		} else {
@@ -555,7 +865,7 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, int, bool) {
 		if sleep {
 			return s.bucketFor(stats.Working), issued, true
 		}
-		if info.Branch && s.nextIssueAt > now {
+		if u.flags&uopBranch != 0 && s.nextIssueAt > now {
 			break // taken branch ends the issue group
 		}
 		if s.cur == nil {
@@ -565,25 +875,11 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, int, bool) {
 	return bucket, issued, false
 }
 
-// operandsBlocked checks the scoreboard for the instruction's source
-// registers and reports the stall cause.
-func (s *SPU) operandsBlocked(now sim.Cycle, ins isa.Instruction, info *isa.Info) (bool, stats.Bucket) {
-	var srcs [3]uint8
-	n := 0
-	switch info.Fmt {
-	case isa.FmtRa, isa.FmtRdRa, isa.FmtRdRaImm:
-		srcs[0], n = ins.Ra, 1
-	case isa.FmtRdRaRb, isa.FmtRaRbImm, isa.FmtRdRaRbIm:
-		srcs[0], srcs[1], n = ins.Ra, ins.Rb, 2
-	}
-	// Stores read their value register (Rd) too.
-	switch ins.Op {
-	case isa.STORE, isa.STOREX, isa.WRITE, isa.WRITE8, isa.LSWR, isa.LSWR8,
-		isa.LSWRX, isa.LSWRX8:
-		srcs[n], n = ins.Rd, n+1
-	}
-	for i := 0; i < n; i++ {
-		if r := srcs[i]; s.ready[r] > now {
+// operandsBlocked checks the scoreboard for the instruction's
+// precomputed source registers and reports the stall cause.
+func (s *SPU) operandsBlocked(now sim.Cycle, u *uop) (bool, stats.Bucket) {
+	for i := uint8(0); i < u.nsrc; i++ {
+		if r := u.srcs[i]; s.ready[r] > now {
 			// Record when this register's result lands so the burst
 			// fast path can batch the whole wait; re-checking at that
 			// cycle reproduces single-step behaviour exactly (a later
@@ -598,26 +894,48 @@ func (s *SPU) operandsBlocked(now sim.Cycle, ins isa.Instruction, info *isa.Info
 	return false, stats.Working
 }
 
-func (s *SPU) countInstr(op isa.Op) {
+func (s *SPU) countInstr(cls uint8) {
 	s.st.Instr.Total++
-	switch op {
-	case isa.LOAD, isa.LOADX:
+	switch cls {
+	case iclsLoad:
 		s.st.Instr.Load++
-	case isa.STORE, isa.STOREX:
+	case iclsStore:
 		s.st.Instr.Store++
-	case isa.READ, isa.READ8:
+	case iclsRead:
 		s.st.Instr.Read++
-	case isa.WRITE, isa.WRITE8:
+	case iclsWrite:
 		s.st.Instr.Write++
-	case isa.LSRD, isa.LSRD8, isa.LSWR, isa.LSWR8, isa.LSRDX, isa.LSRDX8,
-		isa.LSWRX, isa.LSWRX8:
+	case iclsLSDir:
 		s.st.Instr.LSDir++
-	case isa.FALLOC, isa.FALLOCX, isa.FFREE, isa.STOP:
+	case iclsDTA:
 		s.st.Instr.DTA++
-	case isa.MFCLSA, isa.MFCEA, isa.MFCSZ, isa.MFCTAG, isa.MFCGET, isa.MFCPUT,
-		isa.MFCSTAT:
+	case iclsMFC:
 		s.st.Instr.MFC++
 	}
+}
+
+// instrClass maps an opcode to its stats.InstrCounts class (the
+// decode-time half of countInstr).
+func instrClass(op isa.Op) uint8 {
+	switch op {
+	case isa.LOAD, isa.LOADX:
+		return iclsLoad
+	case isa.STORE, isa.STOREX:
+		return iclsStore
+	case isa.READ, isa.READ8:
+		return iclsRead
+	case isa.WRITE, isa.WRITE8:
+		return iclsWrite
+	case isa.LSRD, isa.LSRD8, isa.LSWR, isa.LSWR8, isa.LSRDX, isa.LSRDX8,
+		isa.LSWRX, isa.LSWRX8:
+		return iclsLSDir
+	case isa.FALLOC, isa.FALLOCX, isa.FFREE, isa.STOP:
+		return iclsDTA
+	case isa.MFCLSA, isa.MFCEA, isa.MFCSZ, isa.MFCTAG, isa.MFCGET, isa.MFCPUT,
+		isa.MFCSTAT:
+		return iclsMFC
+	}
+	return iclsOther
 }
 
 func (s *SPU) latFor(u isa.Unit) sim.Cycle {
@@ -634,8 +952,9 @@ func (s *SPU) latFor(u isa.Unit) sim.Cycle {
 
 // execute performs one instruction. ok=false means a structural stall
 // (retry next cycle, pc unchanged); sleep=true means the SPU enters a
-// blocking wait (pc already advanced).
-func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, info *isa.Info) (ok, sleep bool, cause stats.Bucket) {
+// blocking wait (pc already advanced). u.lat carries the executing
+// unit's configured result latency.
+func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep bool, cause stats.Bucket) {
 	r := func(i uint8) int64 { return s.regs[i] }
 	adv := func() { s.pc++ }
 
@@ -644,13 +963,13 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, info *isa.Info) (ok, s
 		adv()
 
 	case isa.MOVI:
-		s.setReg(ins.Rd, int64(ins.Imm), now+s.latFor(info.Unit), prodALU)
+		s.setReg(ins.Rd, int64(ins.Imm), now+sim.Cycle(u.lat), prodALU)
 		adv()
 	case isa.MOVHI:
-		s.setReg(ins.Rd, int64(ins.Imm)<<32, now+s.latFor(info.Unit), prodALU)
+		s.setReg(ins.Rd, int64(ins.Imm)<<32, now+sim.Cycle(u.lat), prodALU)
 		adv()
 	case isa.MOV:
-		s.setReg(ins.Rd, r(ins.Ra), now+s.latFor(info.Unit), prodALU)
+		s.setReg(ins.Rd, r(ins.Ra), now+sim.Cycle(u.lat), prodALU)
 		adv()
 
 	case isa.ADD, isa.ADDI, isa.SUB, isa.SUBI, isa.MUL, isa.MULI, isa.DIV,
@@ -658,7 +977,7 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, info *isa.Info) (ok, s
 		isa.SHL, isa.SHLI, isa.SHR, isa.SHRI, isa.SRA, isa.SRAI,
 		isa.CMPEQ, isa.CMPLT, isa.CMPLTU:
 		v := isa.EvalALU(ins.Op, s.regs[ins.Ra], s.regs[ins.Rb], int64(ins.Imm))
-		s.setReg(ins.Rd, v, now+s.latFor(info.Unit), prodALU)
+		s.setReg(ins.Rd, v, now+sim.Cycle(u.lat), prodALU)
 		adv()
 
 	case isa.JMP:
@@ -850,15 +1169,16 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, info *isa.Info) (ok, s
 		s.channelBusy(now)
 		adv()
 	case isa.MFCSTAT:
+		// u.lat is latFor(UnitMFC) == the FX latency.
 		s.setReg(ins.Rd, int64(s.dma.Outstanding(s.regs[isa.RegTag])),
-			now+s.latFor(isa.UnitFX), prodALU)
+			now+sim.Cycle(u.lat), prodALU)
 		adv()
 
 	default:
 		s.Fault(fmt.Errorf("spu%d: unimplemented opcode %s", s.spe, ins.Op))
 	}
 
-	if s.cur != nil && s.pc >= len(s.code) {
+	if s.cur != nil && s.pc >= len(s.uops) {
 		s.skipEmptyBlocks(now)
 	}
 	return true, false, stats.Working

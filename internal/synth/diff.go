@@ -55,9 +55,11 @@ type CheckOptions struct {
 	// shared across goroutines). nil builds a fresh machine per run.
 	Pool *cell.Pool
 	// DiffBurst additionally runs every simulation a second time with
-	// the SPU burst fast path disabled and fails the check unless
-	// cycles, all statistics, tokens and the final memory image are
-	// identical — the slow-path/fast-path differential mode.
+	// the SPU burst fast path disabled (spu.Config.BurstMax = -1; see
+	// that field's doc comment for the canonical value semantics) and
+	// fails the check unless cycles, all statistics, tokens and the
+	// final memory image are identical — the slow-path/fast-path
+	// differential mode.
 	DiffBurst bool
 }
 
@@ -135,7 +137,7 @@ func runSim(sc Scenario, opt CheckOptions, prog *program.Program) (*cell.Result,
 	}
 	if opt.DiffBurst {
 		slowCfg := cfg
-		slowCfg.SPU.BurstMax = -1 // single-step slow path
+		slowCfg.SPU.BurstMax = -1 // single-step slow path (see spu.Config.BurstMax)
 		sm, err := opt.Pool.Get(slowCfg, prog)
 		if err != nil {
 			return nil, nil, err
