@@ -19,9 +19,11 @@
 //
 // The benchmark set is the six end-to-end BenchmarkRun* benchmarks of
 // the root package (bitcnt/mmul/zoom × original/prefetch) plus the
-// serial sweep benchmark of internal/harness, all with -benchmem, so
-// the JSON carries ns/op, B/op, allocs/op, and the derived simulated
-// cycles per wall-clock second.
+// serial and batched sweep benchmarks of internal/harness, all with
+// -benchmem, so the JSON carries ns/op, B/op, allocs/op, the derived
+// simulated cycles per wall-clock second, per-core throughput (via the
+// custom cores metric) and a suite-wide aggregate
+// sim_cycles_per_sec_per_core.
 //
 // Caveat: ns/op is machine-dependent, so comparing against a baseline
 // recorded on different hardware partly measures the hardware. The
@@ -55,9 +57,17 @@ type Result struct {
 	// SimCycles is the custom sim-cycles metric reported by the
 	// BenchmarkRun* benchmarks (0 when a benchmark does not report it).
 	SimCycles float64 `json:"sim_cycles,omitempty"`
+	// Cores is the custom cores metric: how many CPU cores the
+	// benchmark occupies (0 when not reported; treated as 1).
+	Cores float64 `json:"cores,omitempty"`
 	// SimCyclesPerSec = SimCycles / (NsPerOp ns) — the simulator's
 	// headline throughput number.
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+	// SimCyclesPerSecPerCore = SimCyclesPerSec / Cores — the
+	// per-core efficiency number batched execution is judged by, and
+	// the one that stays comparable between single-core and fanned-out
+	// runners.
+	SimCyclesPerSecPerCore float64 `json:"sim_cycles_per_sec_per_core,omitempty"`
 }
 
 // Document is the BENCH_simthroughput.json layout.
@@ -66,6 +76,11 @@ type Document struct {
 	GoVersion string   `json:"go_version"`
 	Benchtime string   `json:"benchtime"`
 	Results   []Result `json:"results"`
+	// AggregateSimCyclesPerSecPerCore summarises every result that
+	// reports sim-cycles: total simulated cycles divided by total
+	// core-seconds (Σ cycles / Σ ns/op × cores) — one number for "how
+	// many cycles does a core simulate per second across the suite".
+	AggregateSimCyclesPerSecPerCore float64 `json:"aggregate_sim_cycles_per_sec_per_core,omitempty"`
 }
 
 // suite describes one `go test -bench` invocation.
@@ -76,7 +91,7 @@ type suite struct {
 
 var suites = []suite{
 	{pkg: ".", pattern: "^BenchmarkRun(Mmul|Zoom|Bitcnt)(Original|Prefetch)$"},
-	{pkg: "./internal/harness", pattern: "^BenchmarkHarnessSerialSweep$"},
+	{pkg: "./internal/harness", pattern: "^BenchmarkHarness(Serial|Batched)Sweep$"},
 }
 
 func main() {
@@ -106,6 +121,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results parsed")
 		os.Exit(1)
 	}
+	doc.aggregate()
 
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -123,7 +139,13 @@ func main() {
 		if r.SimCyclesPerSec > 0 {
 			line += fmt.Sprintf(" %12.0f sim-cycles/sec", r.SimCyclesPerSec)
 		}
+		if r.SimCyclesPerSecPerCore > 0 && r.Cores > 1 {
+			line += fmt.Sprintf(" %12.0f sim-cycles/sec/core", r.SimCyclesPerSecPerCore)
+		}
 		fmt.Println(line)
+	}
+	if doc.AggregateSimCyclesPerSecPerCore > 0 {
+		fmt.Printf("aggregate %40.0f sim-cycles/sec/core\n", doc.AggregateSimCyclesPerSecPerCore)
 	}
 	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(doc.Results))
 
@@ -197,6 +219,8 @@ func parseMetrics(r *Result, tail string) error {
 			r.AllocsPerOp = int64(v)
 		case "sim-cycles":
 			r.SimCycles = v
+		case "cores":
+			r.Cores = v
 		}
 	}
 	return nil
@@ -205,6 +229,31 @@ func parseMetrics(r *Result, tail string) error {
 func (r *Result) derive() {
 	if r.SimCycles > 0 && r.NsPerOp > 0 {
 		r.SimCyclesPerSec = r.SimCycles / r.NsPerOp * 1e9
+		cores := r.Cores
+		if cores <= 0 {
+			cores = 1
+		}
+		r.SimCyclesPerSecPerCore = r.SimCyclesPerSec / cores
+	}
+}
+
+// aggregate computes the suite-wide per-core throughput over every
+// result that reports simulated cycles.
+func (d *Document) aggregate() {
+	var cycles, coreNs float64
+	for _, r := range d.Results {
+		if r.SimCycles <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		cores := r.Cores
+		if cores <= 0 {
+			cores = 1
+		}
+		cycles += r.SimCycles
+		coreNs += r.NsPerOp * cores
+	}
+	if coreNs > 0 {
+		d.AggregateSimCyclesPerSecPerCore = cycles / coreNs * 1e9
 	}
 }
 

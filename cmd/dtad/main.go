@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	dtad [-addr :8080] [-workers n] [-cache n] [-queue-depth n]
+//	dtad [-addr :8080] [-workers n] [-batch k] [-cache n] [-queue-depth n]
+//
+// -batch k with k > 1 makes each worker interleave up to k jobs
+// cooperatively (simulations advance in bounded slices), keeping more
+// jobs in flight per worker with byte-identical results.
 //
 // SIGINT/SIGTERM drains gracefully: the listener stops accepting,
 // in-flight requests finish, queued jobs run to completion, then the
@@ -31,6 +35,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU)")
+		batchWidth = flag.Int("batch", 1, "jobs interleaved per worker (1 = run each job to completion)")
 		cacheSize  = flag.Int("cache", service.DefaultCacheSize, "max cached result documents")
 		queueDepth = flag.Int("queue-depth", 1024, "max queued jobs")
 	)
@@ -38,6 +43,7 @@ func main() {
 
 	svc := service.New(service.Config{
 		Workers:    *workers,
+		BatchWidth: *batchWidth,
 		CacheSize:  *cacheSize,
 		QueueDepth: *queueDepth,
 	})

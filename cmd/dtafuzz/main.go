@@ -19,9 +19,12 @@
 //
 // Seeds fan out over a worker pool (-parallel, default one per CPU);
 // every check is independent and deterministic, so parallel and serial
-// sweeps find exactly the same failures. Exit status: 0 all seeds
-// passed, 1 divergence found (reproducer written when -shrink), 2 bad
-// usage.
+// sweeps find exactly the same failures. With -batch k > 1 each worker
+// additionally interleaves k checks cooperatively, advancing their
+// simulations in bounded slices — same results, more seeds in flight
+// per goroutine and a shared machine pool across them. Exit status: 0
+// all seeds passed, 1 divergence found (reproducer written when
+// -shrink), 2 bad usage.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/cell"
 	"repro/internal/profiling"
 	"repro/internal/synth"
@@ -50,6 +54,7 @@ func main() {
 		oneSeed  = flag.Uint64("seed", 0, "check a single seed and exit")
 		duration = flag.Duration("duration", 0, "time budget: check increasing seeds until it expires")
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
+		batchW   = flag.Int("batch", 1, "checks interleaved per worker (1 = run each seed to completion)")
 		quick    = flag.Bool("quick", false, "quick mode: 60-cycle memory latency")
 		shrink   = flag.Bool("shrink", false, "shrink the lowest failing seed to a minimal reproducer")
 		out      = flag.String("out", "synth-repro.txt", "reproducer path (with -shrink)")
@@ -118,36 +123,52 @@ func main() {
 	var mu sync.Mutex
 	var checked, failures, pfWins int
 	var firstFail *outcome
+	record := func(seed uint64, rep *synth.Report, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		checked++
+		if err != nil {
+			failures++
+			if firstFail == nil || seed < firstFail.seed {
+				firstFail = &outcome{seed: seed, err: err}
+			}
+			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", seed, err)
+			return
+		}
+		if rep.PFCycles < rep.OrigCycles {
+			pfWins++
+		}
+		if *verbose {
+			fmt.Printf("ok seed %d: %s orig=%d pf=%d decoupled=%.0f%%\n",
+				seed, rep.Scenario.Summary(), rep.OrigCycles, rep.PFCycles,
+				100*rep.Decoupled)
+		}
+	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			// Per-worker machine pool: every seed on this goroutine
-			// reuses built machines; pools never cross goroutines.
-			wopt := opt
-			wopt.Pool = cell.NewPool()
-			for seed := range seedCh {
+			// reuses built machines; pools never cross goroutines. The
+			// batched fibers of one worker interleave cooperatively —
+			// never simultaneously — so they share the pool safely.
+			pool := cell.NewPool()
+			check := func(seed uint64, yield func()) {
+				wopt := opt
+				wopt.Pool = pool
+				wopt.Yield = yield
 				rep, err := synth.CheckSeed(seed, wopt)
-				mu.Lock()
-				checked++
-				if err != nil {
-					failures++
-					if firstFail == nil || seed < firstFail.seed {
-						firstFail = &outcome{seed: seed, err: err}
-					}
-					fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", seed, err)
-				} else {
-					if rep.PFCycles < rep.OrigCycles {
-						pfWins++
-					}
-					if *verbose {
-						fmt.Printf("ok seed %d: %s orig=%d pf=%d decoupled=%.0f%%\n",
-							seed, rep.Scenario.Summary(), rep.OrigCycles, rep.PFCycles,
-							100*rep.Decoupled)
-					}
+				record(seed, rep, err)
+			}
+			if *batchW > 1 {
+				batch.Run(*batchW, batch.FeedChan(seedCh, func(seed uint64) batch.Task {
+					return func(yield func()) { check(seed, yield) }
+				}))
+			} else {
+				for seed := range seedCh {
+					check(seed, nil)
 				}
-				mu.Unlock()
 			}
 		}()
 	}

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list] [-parallel n] [-json]
-//	            [-cpuprofile path] [-memprofile path]
+//	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list] [-parallel n]
+//	            [-batch k] [-json] [-cpuprofile path] [-memprofile path]
 //
 // With no flags it runs the full paper suite at the paper's operating
 // point (8 SPEs, 150-cycle memory, full problem sizes) followed by the
@@ -14,7 +14,11 @@
 // run by name through -only, and sweep like any paper figure. -parallel n
 // fans the selected experiments out over n workers (n < 0 means one per
 // CPU); each experiment then runs in its own isolated context and the
-// output is printed in the usual order once results are in. -json
+// output is printed in the usual order once results are in. -batch k
+// with k > 1 interleaves up to k experiments per worker cooperatively
+// (simulations advance in bounded slices and the worker's run cache is
+// shared across its batch), producing byte-identical results to the
+// serial runner. -json
 // switches stdout to NDJSON — one object per experiment (id, run key,
 // tables, metrics, elapsed) in the same shape the dtad sweep stream
 // serves, so piped consumers need only one decoder.
@@ -48,6 +52,7 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "also print machine-readable metrics")
 		seed     = flag.Uint64("seed", 42, "workload input seed")
 		parallel = flag.Int("parallel", 0, "run experiments on n workers (0 = serial shared-cache, <0 = one per CPU)")
+		batchW   = flag.Int("batch", 1, "experiments interleaved per worker (>1 enables the batched runner)")
 		jsonOut  = flag.Bool("json", false, "emit NDJSON outcomes (one object per experiment) instead of tables")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -99,7 +104,20 @@ func main() {
 	}
 
 	start := time.Now()
-	if *parallel != 0 {
+	if *batchW > 1 {
+		// Batched mode: -parallel still picks the worker count (0 keeps
+		// the serial default of one worker, <0 means one per CPU), and
+		// each worker interleaves up to -batch experiments.
+		workers := *parallel
+		if workers == 0 {
+			workers = 1
+		} else if workers < 0 {
+			workers = 0 // Batched resolves 0 to one worker per CPU
+		}
+		for _, r := range harness.Batched(opt, selected, workers, *batchW) {
+			report(r)
+		}
+	} else if *parallel != 0 {
 		// Parallel mode necessarily waits for the pool; results still
 		// print in presentation order.
 		for _, r := range harness.Parallel(opt, selected, *parallel) {

@@ -1,0 +1,132 @@
+// Package batch provides a deterministic cooperative interleaver: up
+// to width tasks run "simultaneously" on ONE goroutine-equivalent
+// schedule, each advancing between its own yield points while the
+// others are parked. Exactly one fiber is runnable at any instant and
+// control transfers through channels (which establish happens-before),
+// so fibers may freely share per-worker state — a cell.Pool, run
+// caches — with zero locking, exactly like straight-line code.
+//
+// This is the execution model behind batched sweeps: a worker
+// goroutine interleaves K simulations in bounded slices (see
+// cell.Machine.RunSliced), keeping K hot working sets resident without
+// spawning K goroutines or giving up determinism — the interleaving is
+// a pure function of the feed order and each task's yield pattern.
+package batch
+
+// Task is one cooperative unit of work. It runs on its own fiber; the
+// yield argument parks the fiber and hands control to the next one in
+// the round-robin. Code between yields executes atomically with
+// respect to the other fibers of the same Run.
+type Task func(yield func())
+
+// Feed supplies tasks to Run. block reports whether the feed may wait
+// for a task to become available: Run passes block == true only when
+// no fiber is in flight, so waiting cannot stall admitted work. A
+// false ok from a blocking call ends the stream permanently; from a
+// non-blocking call it just means nothing is ready right now.
+type Feed func(block bool) (Task, bool)
+
+// FeedChan adapts a channel of work items to a Feed, wrapping each
+// received item in a Task via mk. Blocking calls wait on the channel;
+// non-blocking calls poll it. A closed channel ends the stream.
+func FeedChan[T any](ch <-chan T, mk func(T) Task) Feed {
+	return func(block bool) (Task, bool) {
+		var v T
+		var ok bool
+		if block {
+			v, ok = <-ch
+		} else {
+			select {
+			case v, ok = <-ch:
+			default:
+				return nil, false
+			}
+		}
+		if !ok {
+			return nil, false
+		}
+		return mk(v), true
+	}
+}
+
+// fiber is one task's goroutine plus its scheduling channels. The
+// scheduler owns `resume`; the fiber reports back on `state` (true =
+// yielded, false = finished). Only one of the two goroutines runs at a
+// time — each blocks on the other's channel — which is what makes
+// shared state safe.
+type fiber struct {
+	resume   chan struct{}
+	state    chan bool
+	panicked bool
+	panicVal any
+}
+
+func start(t Task) *fiber {
+	f := &fiber{resume: make(chan struct{}), state: make(chan bool)}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.panicked, f.panicVal = true, r
+			}
+			f.state <- false
+		}()
+		<-f.resume
+		t(func() {
+			f.state <- true
+			<-f.resume
+		})
+	}()
+	return f
+}
+
+// Run interleaves tasks from feed, keeping at most width fibers in
+// flight, until a blocking feed call reports the stream has ended and
+// every admitted task has finished. Each scheduling round advances
+// every live fiber by one slice (to its next yield or to completion)
+// in admission order, then refills free slots — a deterministic
+// round-robin. width < 1 is clamped to 1 (plain sequential draining).
+//
+// A panic inside a task propagates out of Run on the scheduler's
+// goroutine once the fiber unwinds (its deferred functions have run).
+// Callers that need per-task containment recover inside the task —
+// harness.RunOn already does — so a propagated panic here means a bug
+// in the scheduler's caller, not a failed work item.
+func Run(width int, feed Feed) {
+	if width < 1 {
+		width = 1
+	}
+	var live []*fiber
+	ended := false
+	for {
+		for !ended && len(live) < width {
+			block := len(live) == 0
+			t, ok := feed(block)
+			if !ok {
+				if block {
+					ended = true
+				}
+				break
+			}
+			live = append(live, start(t))
+		}
+		if len(live) == 0 {
+			// Nothing in flight and the refill loop blocked: the stream
+			// has ended (a blocking feed call is the only way to reach
+			// an empty round).
+			return
+		}
+		kept := live[:0]
+		for _, f := range live {
+			f.resume <- struct{}{}
+			if <-f.state {
+				kept = append(kept, f)
+			} else if f.panicked {
+				panic(f.panicVal)
+			}
+		}
+		for i := len(kept); i < len(live); i++ {
+			live[i] = nil
+		}
+		live = kept
+	}
+}

@@ -1,0 +1,131 @@
+package batch
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// sliceFeed serves tasks from a slice, honouring the Feed contract.
+func sliceFeed(tasks []Task) Feed {
+	next := 0
+	return func(block bool) (Task, bool) {
+		if next >= len(tasks) {
+			return nil, false
+		}
+		t := tasks[next]
+		next++
+		return t, true
+	}
+}
+
+// TestRunInterleavesRoundRobin pins the deterministic schedule: three
+// tasks of different lengths at width 2, recording every slice. Task C
+// must enter only when a slot frees, and slices must rotate in
+// admission order.
+func TestRunInterleavesRoundRobin(t *testing.T) {
+	var trace []string
+	mk := func(name string, slices int) Task {
+		return func(yield func()) {
+			for i := 0; i < slices; i++ {
+				trace = append(trace, fmt.Sprintf("%s%d", name, i))
+				if i < slices-1 {
+					yield()
+				}
+			}
+		}
+	}
+	Run(2, sliceFeed([]Task{mk("a", 3), mk("b", 1), mk("c", 2)}))
+	want := []string{
+		"a0", "b0", // round 1: a and b admitted; b finishes
+		"a1", "c0", // round 2: c takes b's slot
+		"a2", "c1", // round 3: both finish
+	}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+// TestRunSharesStateSafely increments an unguarded counter from many
+// fibers across many yields — the cooperative scheduling (one runnable
+// fiber, channel handoffs) must make this race-free. Run under -race
+// this is the lock-free-sharing contract.
+func TestRunSharesStateSafely(t *testing.T) {
+	counter := 0
+	var tasks []Task
+	for i := 0; i < 16; i++ {
+		tasks = append(tasks, func(yield func()) {
+			for j := 0; j < 100; j++ {
+				counter++
+				yield()
+			}
+		})
+	}
+	Run(4, sliceFeed(tasks))
+	if counter != 16*100 {
+		t.Fatalf("counter = %d, want %d", counter, 16*100)
+	}
+}
+
+// TestRunWidthClamp: width < 1 degenerates to sequential draining.
+func TestRunWidthClamp(t *testing.T) {
+	var order []int
+	var tasks []Task
+	for i := 0; i < 3; i++ {
+		i := i
+		tasks = append(tasks, func(yield func()) {
+			order = append(order, i)
+			yield()
+			order = append(order, i)
+		})
+	}
+	Run(0, sliceFeed(tasks))
+	want := []int{0, 0, 1, 1, 2, 2}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestRunPropagatesPanic: an uncontained task panic surfaces on the
+// scheduler's goroutine.
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Run(2, sliceFeed([]Task{func(yield func()) { panic("boom") }}))
+	t.Fatal("Run returned despite panicking task")
+}
+
+// TestFeedChan covers the channel adapter: a producer that closes the
+// channel ends the stream, and every sent item runs exactly once.
+func TestFeedChan(t *testing.T) {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < 20; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	seen := make(map[int]int)
+	Run(3, FeedChan(ch, func(i int) Task {
+		return func(yield func()) {
+			yield()
+			seen[i]++
+		}
+	}))
+	if len(seen) != 20 {
+		t.Fatalf("saw %d items, want 20", len(seen))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d ran %d times", i, n)
+		}
+	}
+}
+
+// TestRunEmptyFeed returns immediately.
+func TestRunEmptyFeed(t *testing.T) {
+	Run(4, sliceFeed(nil))
+}

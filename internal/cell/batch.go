@@ -1,0 +1,125 @@
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// Scenario is one simulation fed to a Batch: a configuration, a
+// program, and a callback that receives the outcome when the scenario
+// retires.
+type Scenario struct {
+	Cfg  Config
+	Prog *program.Program
+	// Done is called exactly once, on the Batch.Run goroutine, with the
+	// scenario's Result or its error (build failure, machine fault,
+	// deadlock, cycle limit, or a contained panic).
+	Done func(*Result, error)
+}
+
+// Batch runs scenarios on up to width machines interleaved inside one
+// goroutine: each live machine advances one bounded slice per round
+// (Machine.Step), finished scenarios retire and their machines return
+// to the pool, and freed slots refill from the feed. Interleaving K
+// machines keeps K hot working sets resident per worker — the batch
+// replaces K goroutines, not K cores — while every simulation remains
+// single-threaded and byte-identical to a run-to-completion Run: slices
+// land on natural event boundaries and no machine observes its
+// neighbours.
+//
+// A Batch is a per-goroutine object, like the Pool it draws from.
+type Batch struct {
+	pool  *Pool
+	width int
+	slice sim.Cycle
+}
+
+// NewBatch returns a scheduler drawing machines from pool, running up
+// to width scenarios interleaved (width < 1 is clamped to 1, which
+// degenerates to sequential run-to-completion), advancing each by slice
+// cycles per round (slice <= 0 selects DefaultSlice).
+func NewBatch(pool *Pool, width int, slice sim.Cycle) *Batch {
+	if width < 1 {
+		width = 1
+	}
+	if slice <= 0 {
+		slice = DefaultSlice
+	}
+	return &Batch{pool: pool, width: width, slice: slice}
+}
+
+// Run drains the feed: it admits scenarios until feed reports no more,
+// round-robins the live machines, and returns when every admitted
+// scenario has retired. Retirement order is deterministic for a
+// deterministic feed (admission order and per-machine cycle counts fix
+// it). A panic inside a scenario's build or step is contained to that
+// scenario and delivered through its Done callback.
+func (b *Batch) Run(feed func() (Scenario, bool)) {
+	type slot struct {
+		sc Scenario
+		m  *Machine
+	}
+	live := make([]slot, 0, b.width)
+	exhausted := false
+	admit := func() bool {
+		for !exhausted && len(live) < b.width {
+			sc, ok := feed()
+			if !ok {
+				exhausted = true
+				break
+			}
+			var m *Machine
+			if err := guarded(func() (err error) {
+				m, err = b.pool.Get(sc.Cfg, sc.Prog)
+				return err
+			}); err != nil {
+				sc.Done(nil, err)
+				continue
+			}
+			live = append(live, slot{sc, m})
+		}
+		return len(live) > 0
+	}
+	for admit() {
+		kept := live[:0]
+		for _, s := range live {
+			var res *Result
+			var done bool
+			err := guarded(func() (err error) {
+				var st StepStatus
+				if st, err = s.m.Step(b.slice); err != nil || st != StepDone {
+					return err
+				}
+				done = true
+				res, err = s.m.Finish()
+				return err
+			})
+			switch {
+			case err != nil:
+				s.sc.Done(nil, err) // errored machine state is unknown: not pooled
+			case done:
+				s.sc.Done(res, nil)
+				b.pool.Put(s.m)
+			default:
+				kept = append(kept, s)
+			}
+		}
+		for i := len(kept); i < len(live); i++ {
+			live[i] = slot{} // drop retired machine references
+		}
+		live = kept
+	}
+}
+
+// guarded runs f, converting a panic into an error so one bad scenario
+// cannot take down the batch.
+func guarded(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell: scenario panicked: %v", r)
+		}
+	}()
+	return f()
+}

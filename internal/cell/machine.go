@@ -1,7 +1,6 @@
 package cell
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/dta"
@@ -39,6 +38,8 @@ type Machine struct {
 	tracer *trace.Buffer
 
 	faultErr error
+	drained  bool      // the one-shot post-completion DMA drain has run
+	endAt    sim.Cycle // cycle the run finished at (valid after StepDone)
 }
 
 // Layout describes where the machine placed things in each local store.
@@ -222,6 +223,8 @@ func (m *Machine) Reset(prog *program.Program) error {
 	}
 	m.prog = prog
 	m.faultErr = nil
+	m.drained = false
+	m.endAt = 0
 	if m.cfg.TraceCap > 0 {
 		m.tracer = trace.NewBuffer(m.cfg.TraceCap)
 	}
@@ -339,26 +342,76 @@ func (r *Result) AvgBreakdownPct() [stats.NumBuckets]float64 {
 // PipelineUsage returns the machine-wide issue-slot utilisation.
 func (r *Result) PipelineUsage() float64 { return r.Agg.PipelineUsage() }
 
-// Run executes the program to completion and gathers statistics.
-func (m *Machine) Run() (*Result, error) {
-	end, err := m.eng.Run(m.cfg.MaxCycles)
-	if m.faultErr == nil && err == nil && m.ppe.Done() && m.dmaBusy() {
-		// The activity completed but write-back DMA is still in flight:
-		// drain it so the memory image is final (runs until quiescent).
-		m.eng.Resume()
-		end, err = m.eng.Run(m.cfg.MaxCycles)
+// StepStatus reports how far Step got.
+type StepStatus uint8
+
+const (
+	// StepBudget: the budget elapsed with the run still in progress —
+	// call Step again (typically after advancing sibling machines).
+	StepBudget StepStatus = iota
+	// StepDone: the run completed (including the post-completion DMA
+	// drain); call Finish to assemble the Result.
+	StepDone
+)
+
+// Step advances the simulation by at most budget cycles and reports
+// whether the run completed. It is the bounded-slice form of Run: a
+// sequence of Step calls executes the exact same engine schedule as a
+// single Run — slice boundaries land on natural event cycles (see
+// sim.Engine.RunUntil) and no machine state observes them — so batched,
+// interleaved machines stay byte-identical to run-to-completion ones.
+// Faults, deadlocks and the Config.MaxCycles limit return errors
+// exactly as Run does; after an error the machine must not be stepped
+// further.
+func (m *Machine) Step(budget sim.Cycle) (StepStatus, error) {
+	until := m.eng.Now() + budget
+	if until < m.eng.Now() { // saturate (budget == sim.Never: unbounded)
+		until = sim.Never
 	}
-	if m.faultErr != nil {
-		return nil, fmt.Errorf("cell: machine fault at cycle %d: %w", end, m.faultErr)
+	limit := sim.Never
+	if m.cfg.MaxCycles > 0 {
+		limit = m.cfg.MaxCycles
 	}
-	if err != nil {
-		var dl *sim.ErrDeadlock
-		if errors.As(err, &dl) && m.ppe.Done() {
-			// All tokens arrived and the system drained: a benign end.
-		} else {
-			return nil, err
+	for {
+		u := until
+		if limit < u {
+			u = limit
+		}
+		end, st := m.eng.RunUntil(u)
+		switch st {
+		case sim.RunStopped:
+			if m.faultErr != nil {
+				return 0, fmt.Errorf("cell: machine fault at cycle %d: %w", end, m.faultErr)
+			}
+			if !m.drained && m.ppe.Done() && m.dmaBusy() {
+				// The activity completed but write-back DMA is still in
+				// flight: drain it so the memory image is final (runs
+				// until quiescent).
+				m.drained = true
+				m.eng.Resume()
+				continue
+			}
+			m.endAt = end
+			return StepDone, nil
+		case sim.RunQuiescent:
+			if m.ppe.Done() {
+				// All tokens arrived and the system drained: a benign end.
+				m.endAt = end
+				return StepDone, nil
+			}
+			return 0, m.eng.DeadlockError()
+		default: // sim.RunBudget
+			if end >= limit {
+				return 0, &sim.ErrLimit{Limit: m.cfg.MaxCycles}
+			}
+			return StepBudget, nil
 		}
 	}
+}
+
+// Finish gathers statistics after Step returned StepDone.
+func (m *Machine) Finish() (*Result, error) {
+	end := m.endAt
 	res := &Result{Cycles: end, Tokens: m.ppe.Tokens(), Mem: m.memory.Stats(),
 		Net: m.net.Stats(), Trace: m.tracer}
 	for _, spe := range m.spes {
@@ -376,6 +429,40 @@ func (m *Machine) Run() (*Result, error) {
 		res.CheckErr = m.prog.Check(mem.Reader{S: m.memory.Store()}, res.Tokens)
 	}
 	return res, nil
+}
+
+// Run executes the program to completion and gathers statistics.
+func (m *Machine) Run() (*Result, error) {
+	if _, err := m.Step(sim.Never); err != nil {
+		return nil, err
+	}
+	return m.Finish()
+}
+
+// DefaultSlice is the RunSliced budget applied when the caller passes
+// slice <= 0: long enough to amortise the scheduling round-trip, short
+// enough that a batch of K machines cycles through its working sets
+// instead of running one to completion.
+const DefaultSlice sim.Cycle = 1 << 16
+
+// RunSliced executes the program to completion in bounded slices,
+// calling yield between slices so a cooperative scheduler can advance
+// sibling machines. The result is byte-identical to Run — only the
+// caller's interleaving across machines changes.
+func (m *Machine) RunSliced(slice sim.Cycle, yield func()) (*Result, error) {
+	if slice <= 0 {
+		slice = DefaultSlice
+	}
+	for {
+		st, err := m.Step(slice)
+		if err != nil {
+			return nil, err
+		}
+		if st == StepDone {
+			return m.Finish()
+		}
+		yield()
+	}
 }
 
 // MemReader exposes the post-run memory image.

@@ -35,7 +35,7 @@ func run(t *testing.T, cfg Config, p *program.Program) *Result {
 }
 
 // progMinimal: the root thread posts its argument to the mailbox.
-func progMinimal(t *testing.T) *program.Program {
+func progMinimal(t testing.TB) *program.Program {
 	b := program.NewBuilder("minimal")
 	root := b.Template("root")
 	root.PL().Load(program.R(1), 0)
@@ -65,7 +65,7 @@ func TestMinimalProgramCompletes(t *testing.T) {
 }
 
 // progLoop: the root sums 1..n with an EX loop.
-func progLoop(t *testing.T, n int64) *program.Program {
+func progLoop(t testing.TB, n int64) *program.Program {
 	b := program.NewBuilder("loop")
 	root := b.Template("root")
 	root.PL().Load(program.R(1), 0) // n
@@ -101,7 +101,7 @@ func TestLoopComputesSum(t *testing.T) {
 
 // progForkJoin: root forks k workers; each worker doubles its argument
 // and stores it to the joiner; the joiner sums its k inputs and posts.
-func progForkJoin(t *testing.T, k int) *program.Program {
+func progForkJoin(t testing.TB, k int) *program.Program {
 	b := program.NewBuilder("forkjoin")
 
 	joiner := b.Template("joiner")
@@ -198,7 +198,7 @@ func TestForkJoinAcrossSPEs(t *testing.T) {
 
 // progMemory: root reads two int32s from main memory, adds them, writes
 // the sum back and posts it.
-func progMemory(t *testing.T) *program.Program {
+func progMemory(t testing.TB) *program.Program {
 	b := program.NewBuilder("memory")
 	root := b.Template("root")
 	root.PL().Load(program.R(1), 0) // base address
@@ -246,7 +246,7 @@ func TestMemoryReadWrite(t *testing.T) {
 
 // progManualDMA: the PF block programs the MFC to fetch 16 bytes; the EX
 // block reads the prefetched data from the buffer (via RegPFB).
-func progManualDMA(t *testing.T) *program.Program {
+func progManualDMA(t testing.TB) *program.Program {
 	b := program.NewBuilder("manualdma")
 	root := b.Template("root")
 	pf := root.Block(program.PF)

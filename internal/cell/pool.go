@@ -15,11 +15,29 @@ import "repro/internal/program"
 // deterministic with zero locking.
 type Pool struct {
 	free map[Config][]*Machine
+	cap  int // max idle machines retained per configuration (0 = unbounded)
 }
 
-// NewPool returns an empty machine pool.
+// DefaultPoolCap bounds the idle machines retained per configuration by
+// NewPool. A sweep worker cycles through a handful of configurations
+// with at most a few machines of each in flight, so a small cap keeps
+// reuse intact while a long-lived worker (dtad, a batch scheduler)
+// cannot accumulate retired 156 kB local-store images without bound.
+const DefaultPoolCap = 16
+
+// NewPool returns an empty machine pool with the default per-config
+// free-list cap.
 func NewPool() *Pool {
-	return &Pool{free: make(map[Config][]*Machine)}
+	return NewPoolCap(DefaultPoolCap)
+}
+
+// NewPoolCap returns an empty machine pool retaining at most perConfig
+// idle machines per configuration; perConfig <= 0 means unbounded.
+func NewPoolCap(perConfig int) *Pool {
+	if perConfig < 0 {
+		perConfig = 0
+	}
+	return &Pool{free: make(map[Config][]*Machine), cap: perConfig}
 }
 
 // Get returns a machine for cfg ready to run prog: a pooled machine
@@ -43,9 +61,22 @@ func (p *Pool) Get(cfg Config, prog *program.Program) (*Machine, error) {
 
 // Put returns a machine to the pool. The caller must not use it
 // afterwards (its memory image remains valid only until the next Get).
+// A machine beyond the per-config cap is dropped for the garbage
+// collector instead of retained.
 func (p *Pool) Put(m *Machine) {
 	if p == nil || m == nil {
 		return
 	}
+	if p.cap > 0 && len(p.free[m.cfg]) >= p.cap {
+		return
+	}
 	p.free[m.cfg] = append(p.free[m.cfg], m)
+}
+
+// Idle reports how many machines are retained for cfg (for tests).
+func (p *Pool) Idle(cfg Config) int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free[cfg])
 }

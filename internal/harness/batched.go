@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/batch"
+	"repro/internal/cell"
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// BatchState is the state the fibers of one batched worker share: the
+// machine pool, the run and program caches, the inflight marks and the
+// slice length. Sharing is lock-free by construction — the fibers of
+// one batch.Run never execute simultaneously (see package batch) — and
+// sharing the RUN CACHE is where batching beats Parallel: the paper's
+// sweep re-requests the same simulations across experiments, and one
+// scheduler dedups them where per-experiment goroutines each recompute.
+type BatchState struct {
+	opt   Options
+	pool  *cell.Pool
+	cache map[runKey]*cell.Result
+	progs map[progKey]*program.Program
+	// inflight marks run-cache keys some fiber is computing right now,
+	// so a sibling wanting the same simulation waits instead of
+	// duplicating it (see Context.memoRun).
+	inflight map[runKey]bool
+	slice    sim.Cycle
+}
+
+// NewBatchState prepares shared state for one batched worker. slice is
+// the per-round cycle budget each fiber's simulation advances between
+// yields; slice <= 0 selects cell.DefaultSlice.
+func NewBatchState(opt Options, slice sim.Cycle) *BatchState {
+	if slice <= 0 {
+		slice = cell.DefaultSlice
+	}
+	return &BatchState{
+		opt:      opt.WithDefaults(),
+		pool:     cell.NewPool(),
+		cache:    make(map[runKey]*cell.Result),
+		progs:    make(map[progKey]*program.Program),
+		inflight: make(map[runKey]bool),
+		slice:    slice,
+	}
+}
+
+// Context returns a fiber-local Context over the shared state: caches,
+// pool and inflight marks are shared with sibling fibers, while yield
+// and the simulated-cycle counter belong to this fiber alone.
+func (s *BatchState) Context(yield func()) *Context {
+	return &Context{
+		Opt:       s.opt,
+		cache:     s.cache,
+		progs:     s.progs,
+		pool:      s.pool,
+		inflight:  s.inflight,
+		slice:     s.slice,
+		yield:     yield,
+		simCycles: new(int64),
+	}
+}
+
+// NewBatchedContext returns a context whose simulations advance in
+// bounded slices of slice cycles (0 = cell.DefaultSlice), calling yield
+// between slices — for callers that interleave heterogeneous work
+// (jobs with differing Options, as in the dtad service) and therefore
+// cannot share a BatchState's caches. The context owns fresh caches but
+// shares pool, which is safe across the fibers of one batch.Run: they
+// never execute simultaneously.
+func NewBatchedContext(opt Options, pool *cell.Pool, slice sim.Cycle, yield func()) *Context {
+	c := NewContextWithPool(opt, pool)
+	if slice <= 0 {
+		slice = cell.DefaultSlice
+	}
+	c.slice = slice
+	c.yield = yield
+	return c
+}
+
+// Batched executes experiments on a bounded worker pool, each worker
+// interleaving up to width experiments cooperatively (package batch):
+// every live experiment's simulation advances one bounded slice per
+// round, so K working sets stay resident per goroutine and the worker's
+// run cache is shared across all K. Results land in input order, and a
+// panic inside an experiment is contained to that experiment (RunOn),
+// exactly as in Parallel.
+//
+// Every simulation remains single-threaded and byte-identical to a
+// Serial run — slices land on the engine's natural event boundaries and
+// fibers only ever hand control to each other between slices — so
+// batching changes throughput, never results.
+//
+// width <= 1 degenerates to Parallel. workers <= 0 selects
+// runtime.NumCPU(); workers are clamped so each can hold at least one
+// fiber's worth of work.
+func Batched(opt Options, exps []*Experiment, workers, width int) []RunResult {
+	if width <= 1 {
+		return Parallel(opt, exps, workers)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if maxW := (len(exps) + width - 1) / width; workers > maxW {
+		workers = maxW
+	}
+	results := make([]RunResult, len(exps))
+	if len(exps) == 0 {
+		return results
+	}
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			state := NewBatchState(opt, 0)
+			batch.Run(width, batch.FeedChan(idxCh, func(i int) batch.Task {
+				return func(yield func()) {
+					results[i] = RunOn(state.Context(yield), exps[i])
+				}
+			}))
+		}()
+	}
+	for i := range exps {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return results
+}

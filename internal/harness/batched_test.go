@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// corpusExperiments returns the 32 pinned synth-corpus experiments —
+// each one runs the full differential (original AND prefetched
+// simulation), so batching them covers both program variants.
+func corpusExperiments(t testing.TB) []*Experiment {
+	t.Helper()
+	seeds := synth.CorpusSeeds()
+	exps := make([]*Experiment, 0, len(seeds))
+	for _, seed := range seeds {
+		e, ok := ByID(synth.ExperimentID(seed))
+		if !ok {
+			t.Fatalf("synth corpus experiment for seed %d missing", seed)
+		}
+		exps = append(exps, e)
+	}
+	return exps
+}
+
+// TestBatchedMatchesSerialSweep is the batched determinism regression
+// for the paper sweep: interleaved K-way execution must produce the
+// same tables, notes, metrics and cycle counts as the serial runner.
+func TestBatchedMatchesSerialSweep(t *testing.T) {
+	exps := sweepExperiments(t)
+	serial := renderResults(t, Serial(quickOpts(), exps))
+	for _, width := range []int{2, 4, 8} {
+		batched := renderResults(t, Batched(quickOpts(), exps, 2, width))
+		if !bytes.Equal(serial, batched) {
+			t.Fatalf("width=%d: serial and batched sweeps diverge:\n--- serial ---\n%s\n--- batched ---\n%s",
+				width, serial, batched)
+		}
+	}
+}
+
+// TestBatchedMatchesSerialCorpus runs the full 32-seed pinned corpus —
+// original and prefetch-transformed simulation of every scenario —
+// through the batched runner and asserts byte-identical outcomes.
+func TestBatchedMatchesSerialCorpus(t *testing.T) {
+	exps := corpusExperiments(t)
+	serial := renderResults(t, Serial(quickOpts(), exps))
+	batched := renderResults(t, Batched(quickOpts(), exps, 2, 8))
+	if !bytes.Equal(serial, batched) {
+		t.Fatalf("serial and batched corpus runs diverge:\n--- serial ---\n%s\n--- batched ---\n%s",
+			serial, batched)
+	}
+}
+
+// TestBatchedWidthOneDegenerates: width <= 1 must behave exactly like
+// Parallel (same results, same order).
+func TestBatchedWidthOneDegenerates(t *testing.T) {
+	exps := sweepExperiments(t)[:3]
+	parallel := renderResults(t, Parallel(quickOpts(), exps, 2))
+	for _, width := range []int{1, 0, -5} {
+		got := renderResults(t, Batched(quickOpts(), exps, 2, width))
+		if !bytes.Equal(parallel, got) {
+			t.Fatalf("width=%d: does not degenerate to Parallel", width)
+		}
+	}
+}
+
+// TestBatchedPreservesOrder checks results land in input order, not in
+// retirement order.
+func TestBatchedPreservesOrder(t *testing.T) {
+	exps := sweepExperiments(t)
+	results := Batched(quickOpts(), exps, 2, 3)
+	if len(results) != len(exps) {
+		t.Fatalf("got %d results for %d experiments", len(results), len(exps))
+	}
+	for i, r := range results {
+		if r.Experiment != exps[i] {
+			t.Fatalf("result %d is %s, want %s", i, r.Experiment.ID, exps[i].ID)
+		}
+	}
+}
+
+// TestBatchedContainsPanic ensures a panicking experiment surfaces as
+// its own error while its batch-mates complete.
+func TestBatchedContainsPanic(t *testing.T) {
+	bad := &Experiment{
+		ID:    "boom",
+		Title: "panics",
+		Run:   func(*Context) (*Outcome, error) { panic("kaboom") },
+	}
+	good, ok := ByID("table2")
+	if !ok {
+		t.Fatal("table2 missing")
+	}
+	results := Batched(quickOpts(), []*Experiment{bad, good}, 1, 2)
+	if results[0].Err == nil {
+		t.Fatal("panicking experiment reported no error")
+	}
+	if results[1].Err != nil {
+		t.Fatalf("healthy experiment failed: %v", results[1].Err)
+	}
+	if results[1].Outcome == nil {
+		t.Fatal("healthy experiment lost its outcome")
+	}
+}
+
+// TestBatchedEmptyAndClamped covers the degenerate inputs.
+func TestBatchedEmptyAndClamped(t *testing.T) {
+	if got := Batched(quickOpts(), nil, 4, 4); len(got) != 0 {
+		t.Fatalf("empty sweep returned %d results", len(got))
+	}
+	exps := sweepExperiments(t)[:2]
+	for _, cfg := range []struct{ workers, width int }{
+		{0, 4}, {-1, 8}, {64, 4}, {2, 64},
+	} {
+		results := Batched(quickOpts(), exps, cfg.workers, cfg.width)
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d width=%d: %v", cfg.workers, cfg.width, r.Err)
+			}
+		}
+	}
+}
+
+// TestSimCyclesRunnerIndependent: the represented-cycles metric counts
+// cache hits at face value, so each experiment reports the same
+// SimCycles no matter which runner executed the sweep.
+func TestSimCyclesRunnerIndependent(t *testing.T) {
+	exps := sweepExperiments(t)
+	serial := Serial(quickOpts(), exps)
+	batched := Batched(quickOpts(), exps, 2, 4)
+	for i := range exps {
+		if serial[i].Err != nil || batched[i].Err != nil {
+			t.Fatalf("%s: serial err %v, batched err %v", exps[i].ID, serial[i].Err, batched[i].Err)
+		}
+		if serial[i].SimCycles <= 0 {
+			t.Fatalf("%s: serial SimCycles = %d, want > 0", exps[i].ID, serial[i].SimCycles)
+		}
+		if serial[i].SimCycles != batched[i].SimCycles {
+			t.Fatalf("%s: SimCycles serial=%d batched=%d", exps[i].ID, serial[i].SimCycles, batched[i].SimCycles)
+		}
+	}
+}

@@ -268,7 +268,7 @@ func fig9(ctx *Context) (*Outcome, error) {
 }
 
 func lat1(ctx *Context) (*Outcome, error) {
-	sub := NewContext(Options{SPEs: ctx.Opt.SPEs, Latency: 1, Quick: ctx.Opt.Quick, Seed: ctx.Opt.Seed})
+	sub := ctx.Sub(Options{SPEs: ctx.Opt.SPEs, Latency: 1, Quick: ctx.Opt.Quick, Seed: ctx.Opt.Seed})
 	exec := &stats.Table{
 		Title:   "Section 4.3 — all memory latencies set to 1 cycle (8 SPUs)",
 		Headers: []string{"benchmark", "original", "prefetching", "speedup"},

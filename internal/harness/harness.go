@@ -13,6 +13,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/prefetch"
 	"repro/internal/program"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -135,6 +136,20 @@ type Context struct {
 	cache      map[runKey]*cell.Result
 	progs      map[progKey]*program.Program
 	pool       *cell.Pool
+	// Batched execution (see Batched): yield parks this context's fiber
+	// between bounded simulation slices, slice is the per-round cycle
+	// budget, and inflight marks cache keys a sibling fiber is currently
+	// computing so this fiber waits for the result instead of duplicating
+	// the simulation. All nil/zero for serial and parallel contexts.
+	yield    func()
+	slice    sim.Cycle
+	inflight map[runKey]bool
+	// simCycles accumulates the simulated cycles this context's
+	// experiments represent — every cache request counts the result's
+	// cycle total, hit or miss, so the metric depends only on the
+	// workload, not on which runner (or sibling fiber) computed it. A
+	// pointer so Sub-derived contexts bill the same counter.
+	simCycles *int64
 }
 
 // NewContext prepares a context with its own machine pool.
@@ -148,10 +163,34 @@ func NewContext(opt Options) *Context {
 // goroutines.
 func NewContextWithPool(opt Options, pool *cell.Pool) *Context {
 	return &Context{
-		Opt:   opt.WithDefaults(),
-		cache: make(map[runKey]*cell.Result),
-		progs: make(map[progKey]*program.Program),
-		pool:  pool,
+		Opt:       opt.WithDefaults(),
+		cache:     make(map[runKey]*cell.Result),
+		progs:     make(map[progKey]*program.Program),
+		pool:      pool,
+		inflight:  make(map[runKey]bool),
+		simCycles: new(int64),
+	}
+}
+
+// Sub derives a context at a different operating point that shares this
+// context's machinery: machine pool, run and program caches (run keys
+// embed the latency and knobs that matter), inflight marks, batching
+// hooks and the simulated-cycle counter. Experiments that re-run the
+// sweep under modified options (lat1's latency-1 study) use it so their
+// simulations interleave and count like everyone else's. opt must agree
+// with the parent on the program-shaping fields (Quick, Seed) — the
+// program cache is keyed only by benchmark, SPE count and variant.
+func (c *Context) Sub(opt Options) *Context {
+	return &Context{
+		Opt:        opt.WithDefaults(),
+		SingleStep: c.SingleStep,
+		cache:      c.cache,
+		progs:      c.progs,
+		pool:       c.pool,
+		yield:      c.yield,
+		slice:      c.slice,
+		inflight:   c.inflight,
+		simCycles:  c.simCycles,
 	}
 }
 
@@ -238,41 +277,66 @@ type variant struct {
 	frames int // 0 = default frame count per LSE
 }
 
+// memoRun serves key from the run cache, computing it on a miss. When
+// this context is a batched fiber (yield != nil) the cache is shared
+// with sibling fibers: if one of them is already computing key, this
+// fiber parks until the result lands rather than duplicating the
+// simulation. The wait cannot deadlock — a waiting fiber holds no
+// inflight mark of its own (memoRun calls never nest), so wait-for
+// cycles are impossible; and the mark is cleared on every exit path,
+// so a failed compute unblocks waiters (which then recompute and hit
+// the same deterministic error).
+func (c *Context) memoRun(key runKey, compute func() (*cell.Result, error)) (*cell.Result, error) {
+	for {
+		if r, ok := c.cache[key]; ok {
+			*c.simCycles += int64(r.Cycles)
+			return r, nil
+		}
+		if c.yield == nil || !c.inflight[key] {
+			break
+		}
+		c.yield()
+	}
+	if c.inflight != nil {
+		c.inflight[key] = true
+		defer delete(c.inflight, key)
+	}
+	res, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.cache[key] = res
+	*c.simCycles += int64(res.Cycles)
+	return res, nil
+}
+
 // run executes (with caching) one benchmark configuration.
 func (c *Context) run(bench string, spes int, prefetchOn bool, v variant) (*cell.Result, error) {
 	chunked := true
 	key := runKey{bench, spes, c.Opt.Latency, prefetchOn, v.nodes, v.dmaLat, v.buses, v.vfp, v.frames, chunked}
-	if r, ok := c.cache[key]; ok {
-		return r, nil
-	}
-	prog, err := c.buildProgram(bench, spes, prefetchOn, chunked)
-	if err != nil {
-		return nil, err
-	}
-	res, err := c.execute(prog, spes, v)
-	if err != nil {
-		return nil, fmt.Errorf("%s spes=%d pf=%v: %w", bench, spes, prefetchOn, err)
-	}
-	c.cache[key] = res
-	return res, nil
+	return c.memoRun(key, func() (*cell.Result, error) {
+		prog, err := c.buildProgram(bench, spes, prefetchOn, chunked)
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.execute(prog, spes, v)
+		if err != nil {
+			return nil, fmt.Errorf("%s spes=%d pf=%v: %w", bench, spes, prefetchOn, err)
+		}
+		return res, nil
+	})
 }
 
 // runUnchunked is run() with single-command region fetches (A6).
 func (c *Context) runUnchunked(bench string, spes int, prefetchOn bool) (*cell.Result, error) {
 	key := runKey{bench, spes, c.Opt.Latency, prefetchOn, 0, -1, 0, false, 0, false}
-	if r, ok := c.cache[key]; ok {
-		return r, nil
-	}
-	prog, err := c.buildProgram(bench, spes, prefetchOn, false)
-	if err != nil {
-		return nil, err
-	}
-	res, err := c.execute(prog, spes, variant{dmaLat: -1})
-	if err != nil {
-		return nil, err
-	}
-	c.cache[key] = res
-	return res, nil
+	return c.memoRun(key, func() (*cell.Result, error) {
+		prog, err := c.buildProgram(bench, spes, prefetchOn, false)
+		if err != nil {
+			return nil, err
+		}
+		return c.execute(prog, spes, variant{dmaLat: -1})
+	})
 }
 
 func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Result, error) {
@@ -307,7 +371,14 @@ func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Res
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Run()
+	var res *cell.Result
+	if c.yield != nil {
+		// Batched fiber: advance in bounded slices, parking between them
+		// so sibling simulations interleave on this worker.
+		res, err = m.RunSliced(c.slice, c.yield)
+	} else {
+		res, err = m.Run()
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,12 @@ type RunResult struct {
 	Outcome    *Outcome
 	Err        error
 	Elapsed    time.Duration
+	// SimCycles is the simulated cycles this experiment represents:
+	// every simulation the experiment requested counts its cycle total,
+	// whether it ran or was served from the run cache, so the number is
+	// a property of the workload, not of the runner. Benchmarks divide
+	// it by wall time for a sim-cycles/sec throughput measure.
+	SimCycles int64
 }
 
 // Parallel executes experiments concurrently on a bounded worker pool
@@ -86,9 +92,11 @@ func Serial(opt Options, exps []*Experiment) []RunResult {
 // context, and the dtad service inherits it through Serial.
 func RunOn(ctx *Context, exp *Experiment) (res RunResult) {
 	start := time.Now()
+	base := *ctx.simCycles
 	res.Experiment = exp
 	defer func() {
 		res.Elapsed = time.Since(start)
+		res.SimCycles = *ctx.simCycles - base
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("experiment %s panicked: %v", exp.ID, r)
 		}

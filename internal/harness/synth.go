@@ -35,10 +35,18 @@ func runSynth(ctx *Context, seed uint64) (*Outcome, error) {
 	if sc.SPEs > ctx.Opt.SPEs {
 		sc.SPEs = ctx.Opt.SPEs
 	}
-	rep, err := synth.CheckScenario(sc, synth.CheckOptions{Latency: ctx.Opt.Latency})
+	rep, err := synth.CheckScenario(sc, synth.CheckOptions{
+		Latency: ctx.Opt.Latency,
+		Pool:    ctx.pool,
+		Yield:   ctx.yield,
+		Slice:   ctx.slice,
+	})
 	if err != nil {
 		return nil, err
 	}
+	// The differential check has no run cache, so the represented cycles
+	// are exactly the two simulated runs.
+	*ctx.simCycles += int64(rep.OrigCycles) + int64(rep.PFCycles)
 	speedup := float64(rep.OrigCycles) / float64(rep.PFCycles)
 	t := &stats.Table{
 		Title:   fmt.Sprintf("synth %d — %s", seed, rep.Scenario.Summary()),

@@ -196,12 +196,14 @@ func TestMustInfoPanicsOnUndefined(t *testing.T) {
 }
 
 func TestBurstClasses(t *testing.T) {
-	// The LS-read class is exactly the local-store/frame reads; the
+	// The LS-read class is exactly the local-store/frame reads, the
+	// LS-write class exactly the direct local-store writes; the
 	// register class is exactly the compute/control ops; everything
-	// that writes machine-visible state or talks to another component
-	// is BurstNone.
+	// that talks to another component (frame stores through the LSE,
+	// main-memory traffic, DMA) is BurstNone.
 	wantLS := map[Op]bool{LSRD: true, LSRD8: true, LSRDX: true, LSRDX8: true,
 		LOAD: true, LOADX: true}
+	wantLSW := map[Op]bool{LSWR: true, LSWR8: true, LSWRX: true, LSWRX8: true}
 	for op := Op(0); int(op) < OpCount; op++ {
 		info, ok := Lookup(op)
 		if !ok {
@@ -210,6 +212,9 @@ func TestBurstClasses(t *testing.T) {
 		cls := ClassOf(op)
 		if wantLS[op] != (cls == BurstLSRead) {
 			t.Errorf("%s: class %d, want BurstLSRead=%v", info.Name, cls, wantLS[op])
+		}
+		if wantLSW[op] != (cls == BurstLSWrite) {
+			t.Errorf("%s: class %d, want BurstLSWrite=%v", info.Name, cls, wantLSW[op])
 		}
 		switch info.Unit {
 		case UnitFX, UnitSH, UnitMUL, UnitDIV, UnitCTL:
@@ -221,9 +226,12 @@ func TestBurstClasses(t *testing.T) {
 				t.Errorf("%s: class %d, want BurstNone", info.Name, cls)
 			}
 		}
-		// Stores of any kind must never be burstable: their effects are
-		// visible to other components at the cycle they execute.
-		if info.Store && cls != BurstNone {
+		// Stores that another component mediates or observes (frame
+		// stores via the LSE inbox, main-memory WRITEs) must never be
+		// burstable; the only burstable stores are the direct
+		// local-store writes, whose class carries the horizon
+		// precondition.
+		if info.Store && cls != BurstNone && cls != BurstLSWrite {
 			t.Errorf("%s: store op in burst class %d", info.Name, cls)
 		}
 		if Burstable(op) != (cls == BurstReg) {

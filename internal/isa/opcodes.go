@@ -289,6 +289,18 @@ const (
 	// can write the local store): the caller's quiescence horizon,
 	// sim.Engine.HorizonExcluding.
 	BurstLSRead
+	// BurstLSWrite instructions write the SPE's local store directly
+	// (LSWR*) with no mediation by any other component: no wake is
+	// posted and no inbox is filled, only the store's bytes and its
+	// dedicated SPU port booking change. They burst under exactly the
+	// same horizon argument as BurstLSRead — until the horizon, no
+	// other component runs, so nothing (the MFC streaming a PUT, the
+	// LSE reading a frame, a network delivery) can *read* the store
+	// either, and a write simulated early is indistinguishable from
+	// one executed on the engine clock. STORE*/STOREX stay BurstNone:
+	// they go through the LSE's inbox (observable component state,
+	// possibly routed to a remote frame), not the local store.
+	BurstLSWrite
 )
 
 // ClassOf returns the burst class of op (BurstNone for undefined
@@ -314,12 +326,18 @@ var burstClasses = func() [opCount]BurstClass {
 			t[op] = BurstReg
 		}
 	}
-	// Local-store and frame reads; their write-side counterparts
-	// (LSWR*, STORE*) stay BurstNone because a store must be visible to
-	// the MFC's PUT streaming and the LSE's frame reads at the cycle it
-	// architecturally happens.
+	// Local-store and frame reads.
 	for _, op := range []Op{LSRD, LSRD8, LSRDX, LSRDX8, LOAD, LOADX} {
 		t[op] = BurstLSRead
+	}
+	// Direct local-store writes: safe ahead of the clock under the
+	// quiescence horizon, because the horizon bounds the first cycle
+	// any other component could run and hence *read* the store (the
+	// MFC's PUT streaming, the LSE's frame reads — both are scheduled
+	// components covered by the SPU's refined horizon). STORE/STOREX
+	// are frame stores through the LSE inbox and must stay BurstNone.
+	for _, op := range []Op{LSWR, LSWR8, LSWRX, LSWRX8} {
+		t[op] = BurstLSWrite
 	}
 	return t
 }()

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/cell"
 	"repro/internal/harness"
 )
@@ -65,6 +66,13 @@ type Config struct {
 	Workers    int // simulation worker pool; <= 0 selects runtime.NumCPU()
 	CacheSize  int // max cached result documents; <= 0 selects DefaultCacheSize
 	QueueDepth int // max jobs waiting for a worker; <= 0 selects 1024
+
+	// BatchWidth > 1 makes each worker interleave up to that many jobs
+	// cooperatively: simulations advance in bounded slices (see
+	// harness.Batched), so a worker keeps several jobs in flight and
+	// reuses one machine pool across them. Results are byte-identical to
+	// the run-to-completion default (<= 1).
+	BatchWidth int
 
 	// JobRetention bounds how many terminal jobs stay pollable; the
 	// oldest are forgotten first (<= 0 selects 4096). Live jobs are
@@ -323,19 +331,35 @@ func (s *Service) Close() {
 // worker executes queued jobs until the queue closes. Each worker owns
 // a machine pool so consecutive jobs on this goroutine reuse built
 // machines instead of reconstructing them; the pool never crosses
-// goroutines.
+// goroutines. With BatchWidth > 1 the worker interleaves that many jobs
+// cooperatively — the fibers of one batch.Run never execute
+// simultaneously, so they share the pool exactly like sequential jobs.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	pool := cell.NewPool()
+	if width := s.cfg.BatchWidth; width > 1 {
+		batch.Run(width, batch.FeedChan(s.queue, func(job *Job) batch.Task {
+			return func(yield func()) {
+				s.runJob(job, func(opt harness.Options) *harness.Context {
+					return harness.NewBatchedContext(opt, pool, 0, yield)
+				})
+			}
+		}))
+		return
+	}
 	for job := range s.queue {
-		s.runJob(job, pool)
+		s.runJob(job, func(opt harness.Options) *harness.Context {
+			return harness.NewContextWithPool(opt, pool)
+		})
 	}
 }
 
-// runJob executes one job end to end. The simulation itself goes
-// through harness.RunOn — the same containment primitive as CLI sweeps
-// — so error returns and panics surface exactly as they do there.
-func (s *Service) runJob(job *Job, pool *cell.Pool) {
+// runJob executes one job end to end; mkCtx builds the job's run
+// context (plain or batched, always over the worker's machine pool).
+// The simulation itself goes through harness.RunOn — the same
+// containment primitive as CLI sweeps — so error returns and panics
+// surface exactly as they do there.
+func (s *Service) runJob(job *Job, mkCtx func(harness.Options) *harness.Context) {
 	s.mu.Lock()
 	if job.State != JobQueued { // canceled while waiting
 		s.mu.Unlock()
@@ -374,7 +398,7 @@ func (s *Service) runJob(job *Job, pool *cell.Pool) {
 		return
 	}
 	s.simulated.Add(1)
-	res := harness.RunOn(harness.NewContextWithPool(job.Options, pool), exp)
+	res := harness.RunOn(mkCtx(job.Options), exp)
 	if res.Err != nil {
 		finish(func(j *Job) {
 			j.State = JobFailed

@@ -355,3 +355,36 @@ func TestSubmitCoalescesInflight(t *testing.T) {
 		t.Fatal("result not cached after coalesced run")
 	}
 }
+
+// TestBatchedWorkersMatchSequential runs the same mixed sweep — paper
+// figures plus synth corpus seeds, real experiments through the default
+// registry — through a batched service (workers interleaving 4 jobs)
+// and a plain one, and asserts byte-identical result documents.
+func TestBatchedWorkersMatchSequential(t *testing.T) {
+	ids := []string{"table2", "fig5a", "synth/0001", "synth/0002", "fig5b", "synth/0003"}
+	opt := harness.Options{Quick: true}
+	runAll := func(cfg Config) map[string][]byte {
+		s := New(cfg)
+		defer s.Close()
+		sweep, err := s.SubmitSweep(ids, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][]byte, len(ids))
+		for _, j := range sweep.Jobs {
+			waitJob(t, j)
+			if j.State != JobDone {
+				t.Fatalf("%s: state=%s err=%s", j.Experiment, j.State, j.Err)
+			}
+			out[j.Experiment] = j.Result
+		}
+		return out
+	}
+	plain := runAll(Config{Workers: 2})
+	batched := runAll(Config{Workers: 2, BatchWidth: 4})
+	for _, id := range ids {
+		if !bytes.Equal(plain[id], batched[id]) {
+			t.Fatalf("%s: batched result differs:\n%s\n%s", id, plain[id], batched[id])
+		}
+	}
+}

@@ -360,10 +360,35 @@ func (e *ErrLimit) Error() string {
 	return fmt.Sprintf("sim: cycle limit %d reached before completion", e.Limit)
 }
 
-// Run advances simulated time until Stop is called, no work remains
-// (ErrDeadlock), or maxCycles elapses (ErrLimit). maxCycles <= 0 means no
-// limit. It returns the cycle at which the simulation stopped.
-func (e *Engine) Run(maxCycles Cycle) (Cycle, error) {
+// RunStatus says why RunUntil/RunFor returned.
+type RunStatus uint8
+
+const (
+	// RunStopped: a component called Stop — the simulation completed (or
+	// faulted; the caller owns that distinction).
+	RunStopped RunStatus = iota
+	// RunQuiescent: no component has pending work and Stop was never
+	// called. Whether that is a deadlock or a benign drain is the
+	// caller's call; DeadlockError packages the diagnosis.
+	RunQuiescent
+	// RunBudget: the budget elapsed with work still pending. The clock
+	// already sits on the next event's cycle (>= the budget bound), so a
+	// sequence of budgeted runs replays an unbounded Run exactly,
+	// landing each slice boundary on a natural scheduling point.
+	RunBudget
+)
+
+// RunUntil advances simulated time until Stop is called, no work
+// remains, or the next event would run at a cycle >= until. It returns
+// the cycle reached and why it returned. until == Never means no bound.
+//
+// The returned cycle is e.Now() except for RunStopped, where it is the
+// Stop cycle. On RunBudget the engine has already advanced its clock to
+// the first out-of-budget event (without running it), exactly where an
+// unbounded Run would have placed it before the event's pass — so
+// interleaved engines each see precisely the schedule they would see
+// run-to-completion, and slices cost nothing in fidelity.
+func (e *Engine) RunUntil(until Cycle) (Cycle, RunStatus) {
 	for !e.stopped {
 		min := Never
 		if e.nextLive > 0 {
@@ -373,17 +398,54 @@ func (e *Engine) Run(maxCycles Cycle) (Cycle, error) {
 			min = e.heap[0].at
 		}
 		if min == Never {
-			return e.now, &ErrDeadlock{At: e.now, Dumps: e.dumpAll()}
+			return e.now, RunQuiescent
 		}
 		if min > e.now {
 			e.now = min
 		}
-		if maxCycles > 0 && e.now >= maxCycles {
-			return e.now, &ErrLimit{Limit: maxCycles}
+		if e.now >= until {
+			return e.now, RunBudget
 		}
 		e.runPass()
 	}
-	return e.stopAt, nil
+	return e.stopAt, RunStopped
+}
+
+// RunFor is RunUntil(Now()+budget), saturating at Never. budget <= 0
+// returns immediately with RunBudget.
+func (e *Engine) RunFor(budget Cycle) (Cycle, RunStatus) {
+	if budget <= 0 {
+		return e.now, RunBudget
+	}
+	until := e.now + budget
+	if until < e.now { // overflow
+		until = Never
+	}
+	return e.RunUntil(until)
+}
+
+// DeadlockError packages a RunQuiescent outcome as the error Run
+// returns, with component state dumps for diagnosis.
+func (e *Engine) DeadlockError() *ErrDeadlock {
+	return &ErrDeadlock{At: e.now, Dumps: e.dumpAll()}
+}
+
+// Run advances simulated time until Stop is called, no work remains
+// (ErrDeadlock), or maxCycles elapses (ErrLimit). maxCycles <= 0 means no
+// limit. It returns the cycle at which the simulation stopped.
+func (e *Engine) Run(maxCycles Cycle) (Cycle, error) {
+	limit := Never
+	if maxCycles > 0 {
+		limit = maxCycles
+	}
+	end, st := e.RunUntil(limit)
+	switch st {
+	case RunQuiescent:
+		return end, e.DeadlockError()
+	case RunBudget:
+		return end, &ErrLimit{Limit: maxCycles}
+	}
+	return end, nil
 }
 
 // runPass ticks every component due on cycle e.now in registration

@@ -49,8 +49,9 @@ type Config struct {
 	// BurstMax bounds the burst-execution fast path: the maximum number
 	// of pipeline cycles the SPU may simulate inside one engine Tick
 	// when the upcoming instructions are straight-line register-only
-	// compute (isa.BurstReg), or local-store reads under an
-	// engine-proved quiescence horizon (isa.BurstLSRead). The burst is
+	// compute (isa.BurstReg), or local-store reads and writes under an
+	// engine-proved quiescence horizon (isa.BurstLSRead and
+	// isa.BurstLSWrite). The burst is
 	// cycle- and metric-identical to single-step execution — it only
 	// skips engine round-trips for cycles no other component can
 	// observe.
@@ -102,7 +103,7 @@ const (
 	uopMem      uint8 = 1 << iota // issues in the memory slot of the dual-issue pipeline
 	uopBranch                     // control transfer (JMP / conditional branches)
 	uopBurstReg                   // this and the next instruction are isa.BurstReg
-	uopBurstLS                    // this and the next instruction are isa.BurstReg or isa.BurstLSRead
+	uopBurstLS                    // this and the next instruction are isa.BurstReg, isa.BurstLSRead or isa.BurstLSWrite
 	uopExtern                     // isa.BurstNone: executing this op may wake another component
 )
 
@@ -602,12 +603,15 @@ func (s *SPU) bucketFor(b stats.Bucket) stats.Bucket {
 // (isa.BurstReg — no load/store/DMA/sync and nothing another component
 // can observe), the SPU simulates up to burstLimit cycles in one call
 // and returns the horizon, so the engine skips the dead cycles
-// entirely. Local-store reads (isa.BurstLSRead: LSRD*/LOAD*) burst
-// too, for simulated cycles t strictly below the engine's quiescence
-// horizon (sim.Engine.HorizonExcluding): until t, no other component
-// runs, so nothing — no MFC write-back, LSE frame delivery, or network
-// delivery — can write this SPE's local store, and a read simulated at
-// engine-time now is byte- and cycle-identical to one executed at t.
+// entirely. Local-store reads (isa.BurstLSRead: LSRD*/LOAD*) and
+// direct local-store writes (isa.BurstLSWrite: LSWR*) burst too, for
+// simulated cycles t strictly below the engine's quiescence horizon
+// (sim.Engine.HorizonExcluding): until t, no other component runs, so
+// nothing — no MFC write-back, LSE frame delivery, or network delivery
+// — can write this SPE's local store, and nothing — no MFC PUT
+// streaming, no LSE frame read — can observe a write landed early; an
+// access simulated at engine-time now is byte- and cycle-identical to
+// one executed at t.
 // The horizon is revalidated against the engine's schedule stamp, so
 // anything the SPU itself schedules mid-burst (a wake posted by the
 // first, unrestricted cycle of the window) shrinks the window
@@ -723,11 +727,12 @@ func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 // run without returning to the engine: the SPU is running a PL/EX/PS
 // block and the next two sequential instructions — the only ones one
 // cycle can reach — are register-only compute (always burstable), or
-// local-store reads mixed with compute (burstable while t is inside
-// the engine-proved quiescence window, t < lsHorizon). Everything else
-// (stores, main memory, the LSE, the MFC) must execute on the engine
-// clock, where the rest of the machine has caught up. PF blocks are
-// excluded because falling off their end notifies the LSE.
+// local-store reads/writes mixed with compute (burstable while t is
+// inside the engine-proved quiescence window, t < lsHorizon).
+// Everything else (frame stores, main memory, the LSE, the MFC) must
+// execute on the engine clock, where the rest of the machine has
+// caught up. PF blocks are excluded because falling off their end
+// notifies the LSE.
 func (s *SPU) burstableAt(t sim.Cycle) bool {
 	if s.cur == nil || s.curKind != dta.WorkThread || s.pc >= len(s.uops) {
 		return false

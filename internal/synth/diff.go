@@ -54,6 +54,12 @@ type CheckOptions struct {
 	// Pool recycles machines across checks (per worker; must not be
 	// shared across goroutines). nil builds a fresh machine per run.
 	Pool *cell.Pool
+	// Yield, when non-nil, makes every simulation advance in bounded
+	// slices of Slice cycles (0 = cell.DefaultSlice), calling Yield
+	// between slices — the hook batched runners use to interleave
+	// several checks on one goroutine. Results are identical either way.
+	Yield func()
+	Slice sim.Cycle
 	// DiffBurst additionally runs every simulation a second time with
 	// the SPU burst fast path disabled (spu.Config.BurstMax = -1; see
 	// that field's doc comment for the canonical value semantics) and
@@ -118,6 +124,15 @@ func diverged(sc Scenario, phase, format string, args ...any) *DivergenceError {
 	return &DivergenceError{Scenario: sc, Phase: phase, Detail: fmt.Sprintf(format, args...)}
 }
 
+// runMachine drives one machine to completion: run-to-completion when
+// no Yield hook is set, sliced otherwise.
+func (o CheckOptions) runMachine(m *cell.Machine) (*cell.Result, error) {
+	if o.Yield == nil {
+		return m.Run()
+	}
+	return m.RunSliced(o.Slice, o.Yield)
+}
+
 // runSim executes prog on a (pooled) machine and returns the result
 // plus the machine (for its final memory image). With DiffBurst it
 // also runs the single-step slow path and asserts bit-identical
@@ -131,7 +146,7 @@ func runSim(sc Scenario, opt CheckOptions, prog *program.Program) (*cell.Result,
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := m.Run()
+	res, err := opt.runMachine(m)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -142,7 +157,7 @@ func runSim(sc Scenario, opt CheckOptions, prog *program.Program) (*cell.Result,
 		if err != nil {
 			return nil, nil, err
 		}
-		sres, err := sm.Run()
+		sres, err := opt.runMachine(sm)
 		if err != nil {
 			return nil, nil, fmt.Errorf("single-step run: %w", err)
 		}
