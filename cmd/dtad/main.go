@@ -20,7 +20,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,19 +38,30 @@ func main() {
 		batchWidth = flag.Int("batch", 1, "jobs interleaved per worker (1 = run each job to completion)")
 		cacheSize  = flag.Int("cache", service.DefaultCacheSize, "max cached result documents")
 		queueDepth = flag.Int("queue-depth", 1024, "max queued jobs")
+		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "error", err.Error())
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	svc := service.New(service.Config{
 		Workers:    *workers,
 		BatchWidth: *batchWidth,
 		CacheSize:  *cacheSize,
 		QueueDepth: *queueDepth,
+		Logger:     logger,
 	})
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
-	log.Printf("dtad: engine %s, %d experiments, %d workers, cache %d, listening on %s",
-		service.EngineVersion, len(harness.All()), svc.Workers(), *cacheSize, *addr)
+	logger.Info("dtad listening",
+		"engine", service.EngineVersion, "experiments", len(harness.All()),
+		"workers", svc.Workers(), "batch_width", svc.BatchWidth(),
+		"cache", *cacheSize, "addr", *addr)
 
 	done := make(chan struct{})
 	go func() {
@@ -58,18 +69,19 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
-		log.Printf("dtad: draining (in-flight requests and queued jobs finish first)")
+		logger.Info("dtad draining", "note", "in-flight requests and queued jobs finish first")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("dtad: shutdown: %v", err)
+			logger.Error("shutdown error", "error", err.Error())
 		}
 		svc.Close()
 	}()
 
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("dtad: %v", err)
+		logger.Error("listen failed", "error", err.Error())
+		os.Exit(1)
 	}
 	<-done
-	log.Printf("dtad: drained, bye")
+	logger.Info("dtad drained")
 }

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/cell"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/synth"
 )
@@ -49,20 +50,21 @@ type outcome struct {
 
 func main() {
 	var (
-		seeds    = flag.Int("seeds", 64, "number of seeds to check (ignored with -seed/-duration)")
-		start    = flag.Uint64("start", 1, "first seed")
-		oneSeed  = flag.Uint64("seed", 0, "check a single seed and exit")
-		duration = flag.Duration("duration", 0, "time budget: check increasing seeds until it expires")
-		parallel = flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
-		batchW   = flag.Int("batch", 1, "checks interleaved per worker (1 = run each seed to completion)")
-		quick    = flag.Bool("quick", false, "quick mode: 60-cycle memory latency")
-		shrink   = flag.Bool("shrink", false, "shrink the lowest failing seed to a minimal reproducer")
-		out      = flag.String("out", "synth-repro.txt", "reproducer path (with -shrink)")
-		latency  = flag.Int("latency", 0, "main-memory latency in cycles (0 = paper 150)")
-		verbose  = flag.Bool("v", false, "log every seed, not just failures")
-		diffB    = flag.Bool("diffburst", false, "also run every simulation single-step and fail on any burst fast-path divergence")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		seeds     = flag.Int("seeds", 64, "number of seeds to check (ignored with -seed/-duration)")
+		start     = flag.Uint64("start", 1, "first seed")
+		oneSeed   = flag.Uint64("seed", 0, "check a single seed and exit")
+		duration  = flag.Duration("duration", 0, "time budget: check increasing seeds until it expires")
+		parallel  = flag.Int("parallel", 0, "worker pool size (0 = one per CPU)")
+		batchW    = flag.Int("batch", 1, "checks interleaved per worker (1 = run each seed to completion)")
+		quick     = flag.Bool("quick", false, "quick mode: 60-cycle memory latency")
+		shrink    = flag.Bool("shrink", false, "shrink the lowest failing seed to a minimal reproducer")
+		out       = flag.String("out", "synth-repro.txt", "reproducer path (with -shrink)")
+		latency   = flag.Int("latency", 0, "main-memory latency in cycles (0 = paper 150)")
+		verbose   = flag.Bool("v", false, "log every seed, not just failures")
+		diffB     = flag.Bool("diffburst", false, "also run every simulation single-step and fail on any burst fast-path divergence")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event timeline (with -seed: that scenario; with -shrink: the minimised reproducer)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -177,6 +179,16 @@ func main() {
 		checked, time.Since(began).Seconds(), failures, pfWins, checked-failures,
 		synth.GenVersion)
 
+	if *tracePath != "" && oneSeedSet {
+		// Timeline of the single checked seed: both simulations re-run
+		// with recording on (shrink below overwrites with the minimised
+		// scenario's timeline if it runs).
+		if err := writeScenarioTrace(*tracePath, synth.FromSeed(*oneSeed), opt); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "trace for seed %d written to %s\n", *oneSeed, *tracePath)
+		}
+	}
 	if failures == 0 {
 		return
 	}
@@ -208,6 +220,37 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "reproducer written to %s\n", *out)
+		if *tracePath != "" {
+			if err := writeScenarioTrace(*tracePath, res.Minimal, opt); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "reproducer trace written to %s\n", *tracePath)
+			}
+		}
 	}
 	os.Exit(1)
+}
+
+// writeScenarioTrace re-runs a scenario's two simulations with
+// timeline recording and writes one Chrome trace-event document (see
+// OBSERVABILITY.md) pairing the original and prefetch-transformed
+// schedules.
+func writeScenarioTrace(path string, sc synth.Scenario, opt synth.CheckOptions) error {
+	rec, err := synth.RecordScenario(sc, opt, 0)
+	if err != nil {
+		return err
+	}
+	runs := []obs.TraceRun{
+		{Label: "sim-orig " + sc.Summary(), SPEs: rec.SPEs, Rec: rec.Orig},
+		{Label: "sim-pf " + sc.Summary(), SPEs: rec.SPEs, Rec: rec.PF},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

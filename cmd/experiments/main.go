@@ -5,7 +5,12 @@
 // Usage:
 //
 //	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list] [-parallel n]
-//	            [-batch k] [-json] [-cpuprofile path] [-memprofile path]
+//	            [-batch k] [-json] [-trace path] [-cpuprofile path] [-memprofile path]
+//
+// -trace path records every simulation the serial runner executes and
+// writes one Chrome trace-event document (Perfetto/chrome://tracing)
+// with per-SPE dispatch, DMA, NoC and thread-lifecycle tracks; see
+// OBSERVABILITY.md. Recording requires the serial runner.
 //
 // With no flags it runs the full paper suite at the paper's operating
 // point (8 SPEs, 150-cycle memory, full problem sizes) followed by the
@@ -38,26 +43,32 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		spes     = flag.Int("spes", 8, "number of SPEs")
-		latency  = flag.Int("latency", 150, "main-memory latency in cycles")
-		quick    = flag.Bool("quick", false, "shrink problem sizes for a fast pass")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		metrics  = flag.Bool("metrics", false, "also print machine-readable metrics")
-		seed     = flag.Uint64("seed", 42, "workload input seed")
-		parallel = flag.Int("parallel", 0, "run experiments on n workers (0 = serial shared-cache, <0 = one per CPU)")
-		batchW   = flag.Int("batch", 1, "experiments interleaved per worker (>1 enables the batched runner)")
-		jsonOut  = flag.Bool("json", false, "emit NDJSON outcomes (one object per experiment) instead of tables")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		spes      = flag.Int("spes", 8, "number of SPEs")
+		latency   = flag.Int("latency", 150, "main-memory latency in cycles")
+		quick     = flag.Bool("quick", false, "shrink problem sizes for a fast pass")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		metrics   = flag.Bool("metrics", false, "also print machine-readable metrics")
+		seed      = flag.Uint64("seed", 42, "workload input seed")
+		parallel  = flag.Int("parallel", 0, "run experiments on n workers (0 = serial shared-cache, <0 = one per CPU)")
+		batchW    = flag.Int("batch", 1, "experiments interleaved per worker (>1 enables the batched runner)")
+		jsonOut   = flag.Bool("json", false, "emit NDJSON outcomes (one object per experiment) instead of tables")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event timeline of every simulation to this file (serial mode only)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *tracePath != "" && (*parallel != 0 || *batchW > 1) {
+		fmt.Fprintln(os.Stderr, "-trace requires the serial runner (drop -parallel/-batch)")
+		os.Exit(2)
+	}
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -128,8 +139,17 @@ func main() {
 		// the in-process run cache, and reports each experiment as it
 		// completes (full-size sweeps take hours — output must stream).
 		ctx := harness.NewContext(opt)
+		if *tracePath != "" {
+			ctx.EnableRecording(0)
+		}
 		for _, e := range selected {
 			report(harness.RunOn(ctx, e))
+		}
+		if *tracePath != "" {
+			if err := writeTraceFile(*tracePath, ctx.Recorded()); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			}
 		}
 	}
 	if !*jsonOut {
@@ -140,6 +160,32 @@ func main() {
 		stopProf() // os.Exit skips deferred functions
 		os.Exit(1)
 	}
+}
+
+// writeTraceFile dumps every simulation the context recorded as one
+// Chrome trace-event document (load in Perfetto or chrome://tracing;
+// see OBSERVABILITY.md).
+func writeTraceFile(path string, recorded []harness.RecordedRun) error {
+	if len(recorded) == 0 {
+		return fmt.Errorf("no simulations recorded (every run was a cache hit?)")
+	}
+	runs := make([]obs.TraceRun, len(recorded))
+	for i, rr := range recorded {
+		runs[i] = obs.TraceRun{Label: rr.Label, SPEs: rr.SPEs, Rec: rr.Rec}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %d simulation timelines to %s\n", len(runs), path)
+	return nil
 }
 
 // reportText renders one result the classic human-readable way.

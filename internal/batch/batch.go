@@ -13,6 +13,27 @@
 // a pure function of the feed order and each task's yield pattern.
 package batch
 
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Process-wide scheduler counters aggregated across every Run (workers
+// are per-goroutine, so per-instance counters cannot be scraped).
+// Exposed as dtad_batch_* by the service's metrics registry.
+var (
+	// TasksStarted counts fibers admitted to a scheduler round.
+	TasksStarted atomic.Int64
+	// TasksFinished counts fibers that ran to completion.
+	TasksFinished atomic.Int64
+	// Runnable is the number of live fibers across all Run loops.
+	Runnable atomic.Int64
+	// Slices counts fiber advances (one slice: resume to yield/finish).
+	Slices atomic.Int64
+	// SliceNanos accumulates wall-clock time spent inside slices.
+	SliceNanos atomic.Int64
+)
+
 // Task is one cooperative unit of work. It runs on its own fiber; the
 // yield argument parks the fiber and hands control to the next one in
 // the round-robin. Code between yields executes atomically with
@@ -107,6 +128,8 @@ func Run(width int, feed Feed) {
 				}
 				break
 			}
+			TasksStarted.Add(1)
+			Runnable.Add(1)
 			live = append(live, start(t))
 		}
 		if len(live) == 0 {
@@ -117,11 +140,19 @@ func Run(width int, feed Feed) {
 		}
 		kept := live[:0]
 		for _, f := range live {
+			t0 := time.Now()
 			f.resume <- struct{}{}
-			if <-f.state {
+			yielded := <-f.state
+			Slices.Add(1)
+			SliceNanos.Add(int64(time.Since(t0)))
+			if yielded {
 				kept = append(kept, f)
-			} else if f.panicked {
-				panic(f.panicVal)
+			} else {
+				TasksFinished.Add(1)
+				Runnable.Add(-1)
+				if f.panicked {
+					panic(f.panicVal)
+				}
 			}
 		}
 		for i := len(kept); i < len(live); i++ {

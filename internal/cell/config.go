@@ -36,6 +36,14 @@ type Config struct {
 	// TraceCap enables thread-lifecycle tracing with the given event
 	// capacity (0 disables tracing).
 	TraceCap int
+
+	// Record enables full timeline recording (SPU dispatch/burst
+	// windows, MFC DMA lifetimes, NoC message spans, thread lifecycle)
+	// into a trace.Recorder surfaced as Result.Rec. RecordCap bounds
+	// each span track (0 = trace.DefaultSpanCap). Both stay value types
+	// so Config remains a comparable pool key.
+	Record    bool
+	RecordCap int
 }
 
 // DefaultConfig returns the paper's operating point (Tables 2 and 4,

@@ -36,6 +36,7 @@ type Machine struct {
 	dses   []*dta.DSE
 	ppe    *PPE
 	tracer *trace.Buffer
+	rec    *trace.Recorder // non-nil when cfg.Record
 
 	faultErr error
 	drained  bool      // the one-shot post-completion DMA drain has run
@@ -90,10 +91,14 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 	}
 
 	m := &Machine{cfg: cfg, prog: prog, eng: sim.NewEngine()}
-	if cfg.TraceCap > 0 {
+	if cfg.Record {
+		m.rec = trace.NewRecorder(cfg.RecordCap)
+		m.tracer = m.rec.Threads
+	} else if cfg.TraceCap > 0 {
 		m.tracer = trace.NewBuffer(cfg.TraceCap)
 	}
 	m.net = noc.New(cfg.Noc)
+	m.net.Rec = m.rec
 	netHandle := m.eng.Register(m.net)
 	m.net.Attach(netHandle)
 
@@ -130,12 +135,15 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 		dmaEng.Attach(mfcHandle)
 		m.net.Register(cfg.mfcEP(i), dmaEng)
 		dmaEng.Fault = m.fail
+		dmaEng.Rec = m.rec
+		dmaEng.RecSPE = i
 
 		pipe := spu.New(cfg.SPU, cfg.spuEP(i), i, cfg.memEP(), m.net, lseUnit,
 			dmaEng, store, prog)
 		pipe.Attach(m.eng.Register(pipe))
 		m.net.Register(cfg.spuEP(i), pipe)
 		pipe.Fault = m.fail
+		pipe.Rec = m.rec
 		// The only components that ever hold a reference to this SPE's
 		// local store are its LSE, its MFC and its SPU (see the
 		// constructor calls above) — plus the network, during whose
@@ -225,7 +233,10 @@ func (m *Machine) Reset(prog *program.Program) error {
 	m.faultErr = nil
 	m.drained = false
 	m.endAt = 0
-	if m.cfg.TraceCap > 0 {
+	if m.cfg.Record {
+		m.rec.Reset()
+		m.tracer = m.rec.Threads
+	} else if m.cfg.TraceCap > 0 {
 		m.tracer = trace.NewBuffer(m.cfg.TraceCap)
 	}
 	m.net.Reset()
@@ -321,8 +332,9 @@ type Result struct {
 	DSEs     []dta.DSEStats
 	Mem      mem.Stats
 	Net      noc.Stats
-	Trace    *trace.Buffer // non-nil when Config.TraceCap > 0
-	CheckErr error         // result of the program's functional check
+	Trace    *trace.Buffer   // non-nil when Config.TraceCap > 0 or Config.Record
+	Rec      *trace.Recorder // non-nil when Config.Record
+	CheckErr error           // result of the program's functional check
 }
 
 // AvgBreakdownPct returns the average SPU breakdown in percent (the
@@ -413,7 +425,7 @@ func (m *Machine) Step(budget sim.Cycle) (StepStatus, error) {
 func (m *Machine) Finish() (*Result, error) {
 	end := m.endAt
 	res := &Result{Cycles: end, Tokens: m.ppe.Tokens(), Mem: m.memory.Stats(),
-		Net: m.net.Stats(), Trace: m.tracer}
+		Net: m.net.Stats(), Trace: m.tracer, Rec: m.rec}
 	for _, spe := range m.spes {
 		spe.SPU.Finalize(end)
 		st := spe.SPU.Stats()

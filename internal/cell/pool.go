@@ -1,6 +1,24 @@
 package cell
 
-import "repro/internal/program"
+import (
+	"sync/atomic"
+
+	"repro/internal/program"
+)
+
+// Process-wide pool counters, aggregated across every Pool (pools are
+// per-worker, so per-instance counters would be invisible to a scrape).
+// Exposed as dtad_pool_* by the service's metrics registry.
+var (
+	// PoolGets counts Get calls served (hit or miss).
+	PoolGets atomic.Int64
+	// PoolMisses counts Gets that had to build a fresh machine.
+	PoolMisses atomic.Int64
+	// PoolPuts counts machines returned to a pool.
+	PoolPuts atomic.Int64
+	// PoolDrops counts returned machines dropped over the free-list cap.
+	PoolDrops atomic.Int64
+)
 
 // Pool recycles built machines keyed by configuration so repeated runs
 // (parameter sweeps, fuzz campaigns, service workers) amortise machine
@@ -43,7 +61,9 @@ func NewPoolCap(perConfig int) *Pool {
 // Get returns a machine for cfg ready to run prog: a pooled machine
 // reset to the program, or a newly built one when none is available.
 func (p *Pool) Get(cfg Config, prog *program.Program) (*Machine, error) {
+	PoolGets.Add(1)
 	if p == nil {
+		PoolMisses.Add(1)
 		return New(cfg, prog)
 	}
 	if ms := p.free[cfg]; len(ms) > 0 {
@@ -56,6 +76,7 @@ func (p *Pool) Get(cfg Config, prog *program.Program) (*Machine, error) {
 		}
 		return m, nil
 	}
+	PoolMisses.Add(1)
 	return New(cfg, prog)
 }
 
@@ -68,8 +89,10 @@ func (p *Pool) Put(m *Machine) {
 		return
 	}
 	if p.cap > 0 && len(p.free[m.cfg]) >= p.cap {
+		PoolDrops.Add(1)
 		return
 	}
+	PoolPuts.Add(1)
 	p.free[m.cfg] = append(p.free[m.cfg], m)
 }
 

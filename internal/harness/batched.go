@@ -59,6 +59,7 @@ func (s *BatchState) Context(yield func()) *Context {
 		slice:     s.slice,
 		yield:     yield,
 		simCycles: new(int64),
+		recs:      &recState{},
 	}
 }
 

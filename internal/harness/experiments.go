@@ -128,6 +128,26 @@ func init() {
 		})
 	}
 
+	// Single-run experiments, one per (benchmark, variant): the smallest
+	// addressable unit of work. They exist for targeted tooling — a
+	// `-trace` timeline of exactly one simulation, a dtad job that wants
+	// one benchmark — without dragging in a whole figure's sweep.
+	for _, bench := range benchmarks {
+		for _, pf := range []bool{false, true} {
+			bench, pf := bench, pf
+			suffix, desc := "orig", "original DTA"
+			if pf {
+				suffix, desc = "pf", "with DMA prefetching"
+			}
+			register(&Experiment{
+				ID:    bench + "-" + suffix,
+				Title: fmt.Sprintf("Single run: %s, %s (paper operating point)", bench, desc),
+				Paper: "one simulation; the breakdown row of Figure 5" + map[bool]string{false: "a", true: "b"}[pf],
+				Run:   func(ctx *Context) (*Outcome, error) { return singleRunExperiment(ctx, bench, pf) },
+			})
+		}
+	}
+
 	register(&Experiment{
 		ID:    "fig9",
 		Title: "Figure 9: pipeline usage with and without prefetching",
@@ -141,6 +161,27 @@ func init() {
 		Paper: "speedup 1.01x (mmul), 1.34x (zoom); bitcnt slows down (overhead 34%, only 5% mem wait)",
 		Run:   lat1,
 	})
+}
+
+func singleRunExperiment(ctx *Context, bench string, pf bool) (*Outcome, error) {
+	res, err := ctx.run(bench, ctx.Opt.SPEs, pf, defaultVariant())
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("%s (pf=%v, %d SPUs, latency %d) — SPU time breakdown", bench, pf, ctx.Opt.SPEs, ctx.Opt.Latency),
+		Headers: breakdownHeaders,
+	}
+	t.AddRow(breakdownRow(ctx.benchLabel(bench), res)...)
+	bd := res.AvgBreakdownPct()
+	return &Outcome{Tables: []*stats.Table{t}, Metrics: map[string]float64{
+		"cycles":       float64(res.Cycles),
+		"threads":      float64(res.Agg.Threads),
+		"working_pct":  bd[stats.Working],
+		"mem_pct":      bd[stats.MemStall],
+		"prefetch_pct": bd[stats.Prefetch],
+		"noc_messages": float64(res.Net.Messages),
+	}}, nil
 }
 
 func breakdownExperiment(ctx *Context, pf bool) (*Outcome, error) {

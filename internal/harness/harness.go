@@ -9,13 +9,28 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/prefetch"
 	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workloads"
+)
+
+// Process-wide run-cache counters aggregated across every Context (the
+// contexts are per-worker, so per-instance counters cannot be scraped).
+// Exposed as dtad_harness_* by the service's metrics registry.
+var (
+	// RunsExecuted counts simulations actually computed (cache misses).
+	RunsExecuted atomic.Int64
+	// RunCacheHits counts memoised results served without simulating.
+	RunCacheHits atomic.Int64
+	// InflightDedupHits counts waits resolved by a sibling fiber's
+	// in-flight computation of the same run key.
+	InflightDedupHits atomic.Int64
 )
 
 // Options configures an experiment run.
@@ -80,6 +95,7 @@ func register(e *Experiment) { experiments = append(experiments, e) }
 var order = []string{
 	"table2", "table3", "table4",
 	"fig5a", "fig5b", "table5",
+	"bitcnt-orig", "bitcnt-pf", "mmul-orig", "mmul-pf", "zoom-orig", "zoom-pf",
 	"fig6", "fig7", "fig8", "fig9", "lat1",
 	"ablation-vfp", "ablation-dmalat", "ablation-buses",
 	"ablation-memlat", "ablation-nodes", "ablation-granularity",
@@ -150,6 +166,25 @@ type Context struct {
 	// workload, not on which runner (or sibling fiber) computed it. A
 	// pointer so Sub-derived contexts bill the same counter.
 	simCycles *int64
+	// recs, when enabled, collects one timeline recording per simulation
+	// this context (and its Sub contexts) actually computes. Shared by
+	// pointer so derived contexts feed the same trace.
+	recs *recState
+}
+
+// RecordedRun is one machine run's timeline recording plus the label it
+// renders under in the exported trace.
+type RecordedRun struct {
+	Label string
+	SPEs  int
+	Rec   *trace.Recorder
+}
+
+type recState struct {
+	on    bool
+	cap   int
+	label string // set by run()/runUnchunked around execute()
+	runs  []RecordedRun
 }
 
 // NewContext prepares a context with its own machine pool.
@@ -169,7 +204,28 @@ func NewContextWithPool(opt Options, pool *cell.Pool) *Context {
 		pool:      pool,
 		inflight:  make(map[runKey]bool),
 		simCycles: new(int64),
+		recs:      &recState{},
 	}
+}
+
+// EnableRecording makes every simulation this context computes record a
+// full component timeline (SPU/DMA/NoC/thread spans; see cell.Config
+// .Record) with the given per-track span capacity (0 = default).
+// Recorded machines bypass the pool, so enable this only for dedicated
+// tracing runs.
+func (c *Context) EnableRecording(spanCap int) {
+	c.recs.on = true
+	c.recs.cap = spanCap
+}
+
+// Recorded returns the timeline recordings collected so far, one per
+// simulation computed while recording was enabled (cache hits replay
+// the already-recorded run and add nothing).
+func (c *Context) Recorded() []RecordedRun {
+	if c.recs == nil {
+		return nil
+	}
+	return c.recs.runs
 }
 
 // Sub derives a context at a different operating point that shares this
@@ -191,6 +247,7 @@ func (c *Context) Sub(opt Options) *Context {
 		slice:      c.slice,
 		inflight:   c.inflight,
 		simCycles:  c.simCycles,
+		recs:       c.recs,
 	}
 }
 
@@ -287,14 +344,20 @@ type variant struct {
 // so a failed compute unblocks waiters (which then recompute and hit
 // the same deterministic error).
 func (c *Context) memoRun(key runKey, compute func() (*cell.Result, error)) (*cell.Result, error) {
+	waited := false
 	for {
 		if r, ok := c.cache[key]; ok {
+			RunCacheHits.Add(1)
+			if waited {
+				InflightDedupHits.Add(1)
+			}
 			*c.simCycles += int64(r.Cycles)
 			return r, nil
 		}
 		if c.yield == nil || !c.inflight[key] {
 			break
 		}
+		waited = true
 		c.yield()
 	}
 	if c.inflight != nil {
@@ -305,6 +368,7 @@ func (c *Context) memoRun(key runKey, compute func() (*cell.Result, error)) (*ce
 	if err != nil {
 		return nil, err
 	}
+	RunsExecuted.Add(1)
 	c.cache[key] = res
 	*c.simCycles += int64(res.Cycles)
 	return res, nil
@@ -318,6 +382,9 @@ func (c *Context) run(bench string, spes int, prefetchOn bool, v variant) (*cell
 		prog, err := c.buildProgram(bench, spes, prefetchOn, chunked)
 		if err != nil {
 			return nil, err
+		}
+		if c.recs.on {
+			c.recs.label = fmt.Sprintf("%s spes=%d pf=%v lat=%d", bench, spes, prefetchOn, c.Opt.Latency)
 		}
 		res, err := c.execute(prog, spes, v)
 		if err != nil {
@@ -334,6 +401,9 @@ func (c *Context) runUnchunked(bench string, spes int, prefetchOn bool) (*cell.R
 		prog, err := c.buildProgram(bench, spes, prefetchOn, false)
 		if err != nil {
 			return nil, err
+		}
+		if c.recs.on {
+			c.recs.label = fmt.Sprintf("%s spes=%d pf=%v lat=%d unchunked", bench, spes, prefetchOn, c.Opt.Latency)
 		}
 		return c.execute(prog, spes, variant{dmaLat: -1})
 	})
@@ -367,6 +437,11 @@ func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Res
 	if c.SingleStep {
 		cfg.SPU.BurstMax = -1
 	}
+	recording := c.recs != nil && c.recs.on
+	if recording {
+		cfg.Record = true
+		cfg.RecordCap = c.recs.cap
+	}
 	m, err := c.pool.Get(cfg, prog)
 	if err != nil {
 		return nil, err
@@ -382,10 +457,20 @@ func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Res
 	if err != nil {
 		return nil, err
 	}
-	// Safe to release immediately: Result copies all statistics, the
-	// trace buffer is replaced (not cleared) on reuse, and harness
-	// experiments never read the machine's memory image.
-	c.pool.Put(m)
+	if recording {
+		// Keep the recording alive: a pooled machine's recorder is reset
+		// on reuse, so recorded machines are not returned to the pool.
+		label := c.recs.label
+		if label == "" {
+			label = fmt.Sprintf("run spes=%d", spes)
+		}
+		c.recs.runs = append(c.recs.runs, RecordedRun{Label: label, SPEs: spes, Rec: res.Rec})
+	} else {
+		// Safe to release immediately: Result copies all statistics, the
+		// trace buffer is replaced (not cleared) on reuse, and harness
+		// experiments never read the machine's memory image.
+		c.pool.Put(m)
+	}
 	if res.CheckErr != nil {
 		return nil, fmt.Errorf("functional check: %w", res.CheckErr)
 	}

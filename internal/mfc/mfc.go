@@ -17,6 +17,7 @@ import (
 	"repro/internal/ls"
 	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Channel selects one of the MFC's programming channels (paper Table 3).
@@ -86,6 +87,9 @@ type command struct {
 
 	inflight  bool  // launched and awaiting data/ack
 	remaining int64 // bytes not yet transferred
+
+	issuedAt   sim.Cycle // Enqueue cycle (timeline recording)
+	launchedAt sim.Cycle // cycle the head command issued its traffic
 }
 
 // tagEntry counts outstanding commands in one tag group. Live tag groups
@@ -156,6 +160,10 @@ type Engine struct {
 	OnTagIdle func(now sim.Cycle, tag int64)
 	// Fault receives functional errors.
 	Fault func(error)
+	// Rec, when non-nil, receives one DMA lifetime span per completed
+	// command; RecSPE is the owning SPE index it is attributed to.
+	Rec    *trace.Recorder
+	RecSPE int
 }
 
 // New creates an MFC for the SPE owning store, with the given noc
@@ -301,6 +309,7 @@ func (e *Engine) Enqueue(now sim.Cycle, dir Direction) bool {
 	cmd.lsa, cmd.ea, cmd.size, cmd.tag = e.chLSA, e.chEA, e.chSize, e.chTag
 	cmd.dir = dir
 	cmd.remaining = e.chSize
+	cmd.issuedAt, cmd.launchedAt = now, now
 	e.queue = append(e.queue, slot)
 	if len(e.queue) > e.stats.MaxQueueDepth {
 		e.stats.MaxQueueDepth = len(e.queue)
@@ -390,6 +399,7 @@ func (e *Engine) Tick(now sim.Cycle) sim.Cycle {
 // command latency has elapsed.
 func (e *Engine) launch(now sim.Cycle, slot int32) {
 	cmd := &e.cmds[slot]
+	cmd.launchedAt = now
 	switch cmd.dir {
 	case Get:
 		e.stats.Gets++
@@ -480,7 +490,11 @@ func (e *Engine) Deliver(now sim.Cycle, msg noc.Message) {
 }
 
 func (e *Engine) complete(now sim.Cycle, slot int32) {
-	tag := e.cmds[slot].tag
+	cmd := &e.cmds[slot]
+	tag := cmd.tag
+	if e.Rec != nil {
+		e.Rec.DMA(e.RecSPE, uint8(cmd.dir), cmd.size, cmd.tag, cmd.issuedAt, cmd.launchedAt, now)
+	}
 	e.release(slot)
 	e.inflightN--
 	drained, ok := e.tagDec(tag)

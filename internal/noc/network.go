@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Endpoint receives delivered messages. Deliver runs during the
@@ -127,6 +128,10 @@ type Network struct {
 	epGroup  []int16
 	queuedTo []int32
 	flightTo []int32
+
+	// Rec, when non-nil, receives one message-transit span per granted
+	// message (arrival at the queue -> delivery at the destination).
+	Rec *trace.Recorder
 }
 
 // minBufCap is the minimum capacity of a pooled packet buffer. DMA
@@ -352,6 +357,10 @@ func (n *Network) Tick(now sim.Cycle) sim.Cycle {
 		occ := sim.Cycle((p.msg.WireSize() + n.cfg.BytesPerCyc - 1) / n.cfg.BytesPerCyc)
 		if occ < 1 {
 			occ = 1
+		}
+		if n.Rec != nil {
+			n.Rec.NoC(p.msg.Src, p.msg.Dst, uint8(p.msg.Kind), p.msg.WireSize(),
+				p.arrival, now+occ+sim.Cycle(n.cfg.HopLatency))
 		}
 		n.busFree[best] = now + occ
 		n.stats.BusyCycles += int64(occ)

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_requests_total", "Requests served.", Label{Name: "path", Value: "/a"})
+	c.Add(3)
+	c.Inc()
+	g := reg.Gauge("test_depth", "Queue depth.")
+	g.Set(7)
+	g.Add(-2)
+	reg.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	reg.CounterFunc("test_external_total", "External.", func() float64 { return 9 })
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Requests served.",
+		"# TYPE test_requests_total counter",
+		`test_requests_total{path="/a"} 4`,
+		"# TYPE test_depth gauge",
+		"test_depth 5",
+		"test_uptime_seconds 12.5",
+		"test_external_total 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFamilyHeaderOnce(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_hits_total", "Hits.", Label{Name: "k", Value: "a"}).Inc()
+	reg.Counter("test_hits_total", "Hits.", Label{Name: "k", Value: "b"}).Add(2)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE test_hits_total counter"); n != 1 {
+		t.Fatalf("TYPE header appears %d times:\n%s", n, out)
+	}
+	if !strings.Contains(out, `test_hits_total{k="a"} 1`) || !strings.Contains(out, `test_hits_total{k="b"} 2`) {
+		t.Fatalf("series missing:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10},
+		Label{Name: "path", Value: "/x"})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{path="/x",le="0.1"} 1`,
+		`test_latency_seconds_bucket{path="/x",le="1"} 3`,
+		`test_latency_seconds_bucket{path="/x",le="10"} 4`,
+		`test_latency_seconds_bucket{path="/x",le="+Inf"} 5`,
+		`test_latency_seconds_sum{path="/x"} 56.05`,
+		`test_latency_seconds_count{path="/x"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 56.05 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_total", "T.").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}

@@ -1,11 +1,16 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // API routes (all JSON):
@@ -51,12 +56,16 @@ type SweepDoc struct {
 
 // StatsDoc is the /v1/stats payload.
 type StatsDoc struct {
-	Engine      string         `json:"engine"`
-	Cache       CacheStats     `json:"cache"`
-	Simulations int64          `json:"simulations"`
-	Workers     int            `json:"workers"`
-	QueueLen    int            `json:"queue_len"`
-	Jobs        map[string]int `json:"jobs"`
+	Engine        string         `json:"engine"`
+	Cache         CacheStats     `json:"cache"`
+	CacheHitRatio float64        `json:"cache_hit_ratio"`
+	Simulations   int64          `json:"simulations"`
+	SimCycles     int64          `json:"sim_cycles"`
+	Workers       int            `json:"workers"`
+	BatchWidth    int            `json:"batch_width"`
+	QueueLen      int            `json:"queue_len"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Jobs          map[string]int `json:"jobs"`
 }
 
 // runRequest is the POST /v1/runs body.
@@ -73,12 +82,30 @@ type sweepRequest struct {
 	Options     OptionsDoc `json:"options"`
 }
 
+// routePatterns lists every registered mux pattern; per-route metric
+// series are pre-registered against this list so the request path never
+// touches the registry lock. Keep in sync with Handler.
+var routePatterns = []string{
+	"GET /healthz",
+	"GET /metrics",
+	"GET /v1/experiments",
+	"GET /v1/stats",
+	"POST /v1/runs",
+	"GET /v1/runs/{id}",
+	"DELETE /v1/runs/{id}",
+	"GET /v1/results/{key}",
+	"POST /v1/sweeps",
+	"GET /v1/sweeps/{id}",
+	"GET /v1/sweeps/{id}/stream",
+}
+
 // Handler returns the HTTP API for the service.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "engine": EngineVersion})
 	})
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
@@ -88,7 +115,60 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStreamSweep)
-	return mux
+	return s.instrument(mux)
+}
+
+// reqIDKey carries the middleware-assigned request id to handlers that
+// want it in their own log lines.
+type reqIDKey struct{}
+
+// requestID returns the id the middleware assigned this request ("" if
+// the handler runs outside the instrumented mux, as in direct tests).
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(reqIDKey{}).(string)
+	return id
+}
+
+// statusWriter captures the response status for the request log line.
+// It forwards Flush so NDJSON sweep streaming keeps working through the
+// wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the mux with per-route metrics (request counter +
+// latency histogram, series pre-registered in buildRegistry) and one
+// structured log line per request carrying a request id.
+func (s *Service) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, pattern := mux.Handler(r)
+		m := s.httpMetrics[pattern]
+		if m == nil {
+			m = s.httpMetrics[""]
+		}
+		reqID := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, reqID)))
+		elapsed := time.Since(t0)
+		m.reqs.Inc()
+		m.seconds.Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"request_id", reqID, "method", r.Method, "path", r.URL.Path,
+			"route", pattern, "status", sw.status, "elapsed_ms", elapsed.Milliseconds())
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -142,13 +222,22 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		byState[string(j.State)]++
 	}
 	s.mu.Unlock()
+	cs := s.cache.Stats()
+	ratio := 0.0
+	if total := cs.Hits + cs.Misses; total > 0 {
+		ratio = float64(cs.Hits) / float64(total)
+	}
 	writeJSON(w, http.StatusOK, StatsDoc{
-		Engine:      EngineVersion,
-		Cache:       s.cache.Stats(),
-		Simulations: s.Simulations(),
-		Workers:     s.Workers(),
-		QueueLen:    s.QueueLen(),
-		Jobs:        byState,
+		Engine:        EngineVersion,
+		Cache:         cs,
+		CacheHitRatio: ratio,
+		Simulations:   s.Simulations(),
+		SimCycles:     s.SimCycles(),
+		Workers:       s.Workers(),
+		BatchWidth:    s.BatchWidth(),
+		QueueLen:      s.QueueLen(),
+		UptimeSeconds: s.Uptime().Seconds(),
+		Jobs:          byState,
 	})
 }
 
@@ -162,6 +251,10 @@ func (s *Service) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing \"experiment\"")
 		return
 	}
+	if r.URL.Query().Get("trace") == "1" {
+		s.handleTraceRun(w, r, req)
+		return
+	}
 	job, err := s.Submit(req.Experiment, req.Options.Harness())
 	if err != nil {
 		status := http.StatusBadRequest
@@ -172,6 +265,8 @@ func (s *Service) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	s.log.Info("run submitted",
+		"request_id", requestID(r), "job", job.ID, "key", job.Key, "experiment", job.Experiment)
 	if req.Wait != nil && !*req.Wait {
 		writeJSON(w, http.StatusAccepted, s.jobDoc(job, false))
 		return
@@ -200,6 +295,44 @@ func (s *Service) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Dtad-Cache", "miss")
 	}
 	writeRaw(w, doc.Result)
+}
+
+// handleTraceRun serves POST /v1/runs?trace=1: the experiment runs
+// synchronously on the request goroutine with timeline recording
+// enabled and the response is a Chrome trace-event document for
+// Perfetto, not a ResultDoc. The run bypasses the queue and the result
+// cache — recording is a debugging path, its output is not
+// content-addressed, and the simulations counter stays untouched so
+// cache accounting matches the normal submission path.
+func (s *Service) handleTraceRun(w http.ResponseWriter, r *http.Request, req runRequest) {
+	exp, ok := s.lookup(req.Experiment)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown experiment %q", req.Experiment)
+		return
+	}
+	opt := req.Options.Harness().WithDefaults()
+	ctx := harness.NewContext(opt)
+	ctx.EnableRecording(0)
+	res := harness.RunOn(ctx, exp)
+	if res.Err != nil {
+		writeError(w, http.StatusInternalServerError, "trace run failed: %v", res.Err)
+		return
+	}
+	recorded := ctx.Recorded()
+	if len(recorded) == 0 {
+		writeError(w, http.StatusInternalServerError, "experiment %q recorded no simulations", req.Experiment)
+		return
+	}
+	runs := make([]obs.TraceRun, len(recorded))
+	for i, rr := range recorded {
+		runs[i] = obs.TraceRun{Label: rr.Label, SPEs: rr.SPEs, Rec: rr.Rec}
+	}
+	s.log.Info("trace run served",
+		"request_id", requestID(r), "experiment", exp.ID, "runs", len(runs))
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteTrace(w, runs); err != nil {
+		s.log.Error("trace write failed", "request_id", requestID(r), "error", err.Error())
+	}
 }
 
 // writeRaw serves a cached document plus trailing newline. The bytes

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint scrapes /metrics after one simulated and one
+// cache-served run and checks the Prometheus exposition carries the key
+// families with the right values.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// mmul-pf runs a real simulation (table-style experiments only print
+	// configuration), so sim-cycle accounting has something to count.
+	req := `{"experiment":"mmul-pf","options":{"quick":true,"spes":2,"latency":60}}`
+	readAll(t, postJSON(t, ts.URL+"/v1/runs", req))
+	readAll(t, postJSON(t, ts.URL+"/v1/runs", req)) // cache hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(readAll(t, resp))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE dtad_simulations_total counter",
+		"dtad_simulations_total 1",
+		"dtad_cache_hits_total 1",
+		"dtad_cache_misses_total 1",
+		"# TYPE dtad_sim_cycles_total counter",
+		"# TYPE dtad_uptime_seconds gauge",
+		"dtad_queue_depth 0",
+		`dtad_jobs{state="done"} 2`,
+		"# TYPE dtad_http_request_seconds histogram",
+		`dtad_http_requests_total{path="POST /v1/runs"} 2`,
+		`dtad_http_request_seconds_bucket{path="POST /v1/runs",le="+Inf"} 2`,
+		"# TYPE dtad_pool_gets_total counter",
+		"# TYPE dtad_batch_slices_total counter",
+		"# TYPE dtad_harness_runs_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// sim cycles must be positive after a real simulation.
+	if strings.Contains(body, "dtad_sim_cycles_total 0\n") {
+		t.Fatalf("sim cycles not accumulated:\n%s", body)
+	}
+}
+
+// TestStatsEnriched checks the satellite /v1/stats fields: uptime,
+// batch width, cumulative sim cycles and the derived cache hit ratio.
+func TestStatsEnriched(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWidth: 3})
+	req := `{"experiment":"mmul-pf","options":{"quick":true,"spes":2,"latency":60}}`
+	readAll(t, postJSON(t, ts.URL+"/v1/runs", req))
+	readAll(t, postJSON(t, ts.URL+"/v1/runs", req))
+
+	var stats StatsDoc
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(readAll(t, resp), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BatchWidth != 3 {
+		t.Fatalf("batch_width = %d, want 3", stats.BatchWidth)
+	}
+	if stats.SimCycles <= 0 {
+		t.Fatalf("sim_cycles = %d, want > 0", stats.SimCycles)
+	}
+	if stats.UptimeSeconds <= 0 {
+		t.Fatalf("uptime_seconds = %v, want > 0", stats.UptimeSeconds)
+	}
+	if stats.CacheHitRatio != 0.5 {
+		t.Fatalf("cache_hit_ratio = %v, want 0.5 (1 hit, 1 miss)", stats.CacheHitRatio)
+	}
+	if stats.Simulations != 1 {
+		t.Fatalf("simulations = %d, want 1", stats.Simulations)
+	}
+}
+
+// TestTraceRunEndpoint exercises POST /v1/runs?trace=1: the response is
+// a Chrome trace-event document, the run bypasses the cache, and the
+// simulations counter stays untouched.
+func TestTraceRunEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := `{"experiment":"mmul-pf","options":{"quick":true,"spes":2,"latency":60}}`
+	resp := postJSON(t, ts.URL+"/v1/runs?trace=1", req)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace run: %d %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("trace body is not valid trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	sawSPU, sawDMA := false, false
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			switch e.Args["name"] {
+			case "SPU":
+				sawSPU = true
+			case "MFC DMA":
+				sawDMA = true
+			}
+		}
+	}
+	if !sawSPU || !sawDMA {
+		t.Fatalf("trace lacks SPU/DMA tracks (spu=%v dma=%v)", sawSPU, sawDMA)
+	}
+	if n := s.Simulations(); n != 0 {
+		t.Fatalf("trace run bumped the simulations counter to %d", n)
+	}
+	if cs := s.Cache().Stats(); cs.Len != 0 {
+		t.Fatalf("trace run populated the result cache (%d entries)", cs.Len)
+	}
+
+	// Unknown experiments are rejected the same way as the normal path.
+	bad := postJSON(t, ts.URL+"/v1/runs?trace=1", `{"experiment":"nope"}`)
+	badBody := readAll(t, bad)
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad trace run: %d %s", bad.StatusCode, badBody)
+	}
+}
+
+// TestMetricsRouteLabelsStable: repeated Handler calls must not
+// duplicate the pre-registered per-route series.
+func TestMetricsRouteLabelsStable(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_ = s.Handler() // a second handler over the same service
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if n := bytes.Count(body, []byte(`dtad_http_requests_total{path="GET /metrics"}`)); n != 1 {
+		t.Fatalf("GET /metrics series appears %d times", n)
+	}
+}

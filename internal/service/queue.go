@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cell"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // JobState is a job's lifecycle stage.
@@ -88,6 +90,10 @@ type Config struct {
 	// (slow, failing) through these; they must agree with each other.
 	Lookup func(id string) (*harness.Experiment, bool)
 	List   func() []*harness.Experiment
+
+	// Logger receives structured job-lifecycle and request lines; nil
+	// discards them (tests stay quiet by default).
+	Logger *slog.Logger
 }
 
 // Service owns the job queue, worker pool and result cache. Workers run
@@ -96,23 +102,32 @@ type Config struct {
 // simulation stays single-threaded and deterministic; only the fan-out
 // across jobs is concurrent.
 type Service struct {
-	cfg    Config
-	cache  *Cache
-	lookup func(id string) (*harness.Experiment, bool)
-	list   func() []*harness.Experiment
+	cfg     Config
+	cache   *Cache
+	lookup  func(id string) (*harness.Experiment, bool)
+	list    func() []*harness.Experiment
+	log     *slog.Logger
+	reg     *obs.Registry
+	started time.Time
+	// httpMetrics maps mux patterns to pre-registered series; "" is the
+	// catch-all for unmatched requests. Built once in buildRegistry.
+	httpMetrics map[string]*routeMetrics
 
-	mu         sync.Mutex
-	jobs       map[string]*Job
-	sweeps     map[string]*Sweep
-	inflight   map[string]*Job // run key -> non-terminal job, for coalescing
-	retired    []string        // terminal job ids, oldest first, for retention pruning
-	sweepOrder []string        // sweep ids, oldest first
-	jobSeq     int
-	sweepSeq   int
-	closed     bool
-	queue      chan *Job
-	wg         sync.WaitGroup
-	simulated  atomic.Int64 // simulations actually executed (≠ submissions served)
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	sweeps      map[string]*Sweep
+	inflight    map[string]*Job // run key -> non-terminal job, for coalescing
+	retired     []string        // terminal job ids, oldest first, for retention pruning
+	sweepOrder  []string        // sweep ids, oldest first
+	jobSeq      int
+	sweepSeq    int
+	closed      bool
+	queue       chan *Job
+	wg          sync.WaitGroup
+	simulated   atomic.Int64 // simulations actually executed (≠ submissions served)
+	simCycles   atomic.Int64 // cumulative simulated cycles across executed jobs
+	busyWorkers atomic.Int64
+	reqSeq      atomic.Int64 // request-id source for the HTTP middleware
 }
 
 // New starts a Service with cfg's worker pool already running.
@@ -135,16 +150,23 @@ func New(cfg Config) *Service {
 	if cfg.List == nil {
 		cfg.List = harness.All
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Service{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheSize),
 		lookup:   cfg.Lookup,
 		list:     cfg.List,
+		log:      logger,
+		started:  time.Now(),
 		jobs:     make(map[string]*Job),
 		sweeps:   make(map[string]*Sweep),
 		inflight: make(map[string]*Job),
 		queue:    make(chan *Job, cfg.QueueDepth),
 	}
+	s.buildRegistry()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -158,6 +180,16 @@ func (s *Service) Cache() *Cache { return s.cache }
 // Simulations returns how many simulations have actually executed —
 // cache-served submissions do not move it.
 func (s *Service) Simulations() int64 { return s.simulated.Load() }
+
+// SimCycles returns the cumulative simulated cycles across all
+// executed jobs (cache-served submissions contribute nothing).
+func (s *Service) SimCycles() int64 { return s.simCycles.Load() }
+
+// Uptime returns how long the service has been running.
+func (s *Service) Uptime() time.Duration { return time.Since(s.started) }
+
+// BatchWidth returns the configured cooperative batch width.
+func (s *Service) BatchWidth() int { return s.cfg.BatchWidth }
 
 // Workers returns the worker-pool size.
 func (s *Service) Workers() int { return s.cfg.Workers }
@@ -209,11 +241,13 @@ func (s *Service) Submit(experimentID string, opt harness.Options) (*Job, error)
 		job.Finished = job.Submitted
 		s.retireLocked(job)
 		close(job.done)
+		s.log.Info("job cached", "job", job.ID, "key", key, "experiment", exp.ID)
 		return job, nil
 	}
 	select {
 	case s.queue <- job:
 		s.inflight[key] = job
+		s.log.Info("job queued", "job", job.ID, "key", key, "experiment", exp.ID)
 	default:
 		job.State = JobFailed
 		job.Err = fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth)
@@ -398,8 +432,12 @@ func (s *Service) runJob(job *Job, mkCtx func(harness.Options) *harness.Context)
 		return
 	}
 	s.simulated.Add(1)
+	s.busyWorkers.Add(1)
 	res := harness.RunOn(mkCtx(job.Options), exp)
+	s.busyWorkers.Add(-1)
+	s.simCycles.Add(res.SimCycles)
 	if res.Err != nil {
+		s.log.Error("job failed", "job", job.ID, "key", job.Key, "experiment", job.Experiment, "error", res.Err.Error())
 		finish(func(j *Job) {
 			j.State = JobFailed
 			j.Err = res.Err.Error()
@@ -419,4 +457,6 @@ func (s *Service) runJob(job *Job, mkCtx func(harness.Options) *harness.Context)
 		j.State = JobDone
 		j.Result = data
 	})
+	s.log.Info("job done", "job", job.ID, "key", job.Key, "experiment", job.Experiment,
+		"sim_cycles", res.SimCycles, "elapsed_ms", time.Since(job.Started).Milliseconds())
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Config holds pipeline micro-parameters. The paper does not specify
@@ -202,6 +203,13 @@ type SPU struct {
 	fallocRd uint8
 
 	st stats.SPU
+
+	// Rec, when non-nil, receives SPU occupancy spans (dispatched work
+	// units and burst windows) for timeline export; unitStart is the
+	// dispatch cycle of the current work unit. Recording off (nil Rec)
+	// costs one pointer compare per span site, nothing per cycle.
+	Rec       *trace.Recorder
+	unitStart sim.Cycle
 
 	// Fault receives execution errors (invalid addresses, bad frame
 	// pointers); the machine aborts the run.
@@ -449,6 +457,7 @@ func (s *SPU) Reset(prog *program.Program) {
 	s.readDst = 0
 	s.reqSeq = 0
 	s.fallocRd = 0
+	s.unitStart = 0
 	s.st = stats.SPU{}
 }
 
@@ -531,6 +540,7 @@ func (s *SPU) dispatch(now sim.Cycle) bool {
 		return false
 	}
 	s.cur, s.curKind = th, kind
+	s.unitStart = now
 	for i := range s.regs {
 		s.regs[i], s.ready[i], s.prod[i] = 0, 0, prodNone
 	}
@@ -568,6 +578,9 @@ func (s *SPU) skipEmptyBlocks(now sim.Cycle) bool {
 func (s *SPU) advanceBlock(now sim.Cycle) bool {
 	if s.curKind == dta.WorkPF {
 		// PF block complete: the thread waits for its DMA tag group.
+		if s.Rec != nil {
+			s.Rec.SPUUnit(s.spe, trace.UnitPF, s.unitStart, now+1, s.cur.Seq, s.cur.Template)
+		}
 		s.lse.PFDone(now, s.cur)
 		s.cur = nil
 		return false
@@ -640,6 +653,12 @@ func (s *SPU) Tick(now sim.Cycle) sim.Cycle {
 	}
 	s.hznDirty = true // other components may have run since the last tick
 	next := s.tick(now)
+	if s.Rec != nil && s.accounted > now+1 {
+		// More than one pipeline cycle was simulated inside this engine
+		// tick: a burst window (compute burst, LS-read/write burst, or a
+		// bulk bubble/stall charge).
+		s.Rec.SPUBurst(s.spe, now, s.accounted)
+	}
 	if next == sim.Never {
 		s.resumeAt = 0
 	} else {
@@ -1139,6 +1158,9 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 	case isa.STOP:
 		if !s.lse.CanAccept() {
 			return false, false, stats.LSEStall
+		}
+		if s.Rec != nil {
+			s.Rec.SPUUnit(s.spe, trace.UnitThread, s.unitStart, now+1, s.cur.Seq, s.cur.Template)
 		}
 		s.lse.ThreadDone(now, s.cur)
 		s.st.Threads++
