@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/stats"
 )
 
 // runExperiment executes one harness experiment b.N times and reports
@@ -165,6 +166,8 @@ func benchmarkRun(b *testing.B, workload string, pf bool) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Cycles), "sim-cycles")
+		b.ReportMetric(res.Agg.Breakdown.StallPct(), "stall-pct")
+		b.ReportMetric(float64(res.Agg.Causes[stats.CauseBlockingRead]), "blocking-read-cycles")
 	}
 }
 

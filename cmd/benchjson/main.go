@@ -68,6 +68,15 @@ type Result struct {
 	// the one that stays comparable between single-core and fanned-out
 	// runners.
 	SimCyclesPerSecPerCore float64 `json:"sim_cycles_per_sec_per_core,omitempty"`
+	// StallPct is the custom stall-pct metric: the share of simulated
+	// SPU cycles spent in stall buckets (memory/LS/LSE), reported by
+	// the BenchmarkRun* benchmarks.
+	StallPct float64 `json:"stall_pct,omitempty"`
+	// BlockingReadCycles is the custom blocking-read-cycles metric:
+	// simulated cycles stalled on blocking READ instructions — the
+	// stall class DMA prefetching exists to remove, so the prefetch
+	// variants should report ~0.
+	BlockingReadCycles float64 `json:"blocking_read_cycles,omitempty"`
 }
 
 // Document is the BENCH_simthroughput.json layout.
@@ -141,6 +150,9 @@ func main() {
 		}
 		if r.SimCyclesPerSecPerCore > 0 && r.Cores > 1 {
 			line += fmt.Sprintf(" %12.0f sim-cycles/sec/core", r.SimCyclesPerSecPerCore)
+		}
+		if r.StallPct > 0 {
+			line += fmt.Sprintf(" %5.1f stall-pct", r.StallPct)
 		}
 		fmt.Println(line)
 	}
@@ -221,6 +233,10 @@ func parseMetrics(r *Result, tail string) error {
 			r.SimCycles = v
 		case "cores":
 			r.Cores = v
+		case "stall-pct":
+			r.StallPct = v
+		case "blocking-read-cycles":
+			r.BlockingReadCycles = v
 		}
 	}
 	return nil

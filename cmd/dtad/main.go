@@ -6,10 +6,18 @@
 // Usage:
 //
 //	dtad [-addr :8080] [-workers n] [-batch k] [-cache n] [-queue-depth n]
+//	     [-debug-addr addr]
 //
 // -batch k with k > 1 makes each worker interleave up to k jobs
 // cooperatively (simulations advance in bounded slices), keeping more
 // jobs in flight per worker with byte-identical results.
+//
+// -debug-addr (off by default) serves Go's net/http/pprof on a second
+// listener — CPU/heap/goroutine profiles of the dtad HOST process
+// itself. This is distinct from the guest cycle profiler
+// (POST /v1/runs?profile=1 on the main listener), which profiles the
+// SIMULATED machine; see OBSERVABILITY.md. Bind it to localhost: the
+// debug listener is unauthenticated and can run arbitrary profiles.
 //
 // SIGINT/SIGTERM drains gracefully: the listener stops accepting,
 // in-flight requests finish, queued jobs run to completion, then the
@@ -22,6 +30,7 @@ import (
 	"flag"
 	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +48,7 @@ func main() {
 		cacheSize  = flag.Int("cache", service.DefaultCacheSize, "max cached result documents")
 		queueDepth = flag.Int("queue-depth", 1024, "max queued jobs")
 		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof for the dtad process on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -57,6 +67,18 @@ func main() {
 		Logger:     logger,
 	})
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	if *debugAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux at import
+		// time; serving that mux on a dedicated listener keeps the debug
+		// surface off the API address.
+		go func() {
+			logger.Info("dtad debug listener (host net/http/pprof)", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("debug listener failed", "error", err.Error())
+			}
+		}()
+	}
 
 	logger.Info("dtad listening",
 		"engine", service.EngineVersion, "experiments", len(harness.All()),

@@ -7,6 +7,7 @@
 //
 //	dtafuzz [-seeds n] [-start s] [-seed s] [-duration d] [-parallel n]
 //	        [-quick] [-shrink] [-out path] [-latency n] [-v]
+//	        [-trace path] [-profile path]
 //
 // Modes:
 //
@@ -35,9 +36,13 @@ import (
 	"sync"
 	"time"
 
+	"path/filepath"
+	"strings"
+
 	"repro/internal/batch"
 	"repro/internal/cell"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/profiling"
 	"repro/internal/synth"
 )
@@ -63,6 +68,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "log every seed, not just failures")
 		diffB     = flag.Bool("diffburst", false, "also run every simulation single-step and fail on any burst fast-path divergence")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event timeline (with -seed: that scenario; with -shrink: the minimised reproducer)")
+		profPath  = flag.String("profile", "", "write guest cycle profiles (pprof format; <path>-orig/<path>-pf before the extension) of a scenario, scoped like -trace")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -189,6 +195,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trace for seed %d written to %s\n", *oneSeed, *tracePath)
 		}
 	}
+	if *profPath != "" && oneSeedSet {
+		// Guest cycle profiles of the single checked seed, original and
+		// prefetch-transformed side by side (shrink overwrites with the
+		// minimised scenario's profiles if it runs).
+		if err := writeScenarioProfiles(*profPath, synth.FromSeed(*oneSeed), opt); err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+		}
+	}
 	if failures == 0 {
 		return
 	}
@@ -227,8 +241,57 @@ func main() {
 				fmt.Fprintf(os.Stderr, "reproducer trace written to %s\n", *tracePath)
 			}
 		}
+		if *profPath != "" {
+			if err := writeScenarioProfiles(*profPath, res.Minimal, opt); err != nil {
+				fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			}
+		}
 	}
 	os.Exit(1)
+}
+
+// writeScenarioProfiles re-runs a scenario's two simulations with the
+// guest cycle profiler and writes one gzipped pprof protobuf per
+// variant — <path>-orig and <path>-pf (the suffix lands before the
+// extension), so `go tool pprof -top` can compare the original and
+// prefetch-transformed attributions side by side (see OBSERVABILITY.md).
+func writeScenarioProfiles(path string, sc synth.Scenario, opt synth.CheckOptions) error {
+	p, err := synth.ProfileScenario(sc, opt)
+	if err != nil {
+		return err
+	}
+	for _, v := range []struct {
+		suffix string
+		run    prof.Run
+	}{
+		{"orig", prof.Run{Label: "sim-orig " + sc.Summary(), Prog: p.OrigProg, Prof: p.Orig}},
+		{"pf", prof.Run{Label: "sim-pf " + sc.Summary(), Prog: p.PFProg, Prof: p.PF}},
+	} {
+		out := suffixPath(path, v.suffix)
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := prof.Write(f, []prof.Run{v.run}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s profile for %s written to %s\n", v.suffix, sc.Summary(), out)
+	}
+	return nil
+}
+
+// suffixPath inserts -suffix before the path's extension(s):
+// guest.pb.gz -> guest-orig.pb.gz, guest -> guest-orig.
+func suffixPath(path, suffix string) string {
+	base := filepath.Base(path)
+	if i := strings.Index(base, "."); i >= 0 {
+		return filepath.Join(filepath.Dir(path), base[:i]+"-"+suffix+base[i:])
+	}
+	return path + "-" + suffix
 }
 
 // writeScenarioTrace re-runs a scenario's two simulations with

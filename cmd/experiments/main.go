@@ -5,12 +5,20 @@
 // Usage:
 //
 //	experiments [-only id[,id...]] [-spes n] [-latency n] [-quick] [-list] [-parallel n]
-//	            [-batch k] [-json] [-trace path] [-cpuprofile path] [-memprofile path]
+//	            [-batch k] [-json] [-trace path] [-profile path]
+//	            [-cpuprofile path] [-memprofile path]
 //
 // -trace path records every simulation the serial runner executes and
 // writes one Chrome trace-event document (Perfetto/chrome://tracing)
 // with per-SPE dispatch, DMA, NoC and thread-lifecycle tracks; see
 // OBSERVABILITY.md. Recording requires the serial runner.
+//
+// -profile path enables the guest cycle profiler on every simulation
+// the serial runner executes and writes one gzipped pprof protobuf
+// attributing simulated SPU cycles to (program, template block, PC,
+// stall cause) — inspect with `go tool pprof -top path`. This profiles
+// the simulated machine; -cpuprofile/-memprofile profile the simulator
+// process itself (see OBSERVABILITY.md).
 //
 // With no flags it runs the full paper suite at the paper's operating
 // point (8 SPEs, 150-cycle memory, full problem sizes) followed by the
@@ -44,6 +52,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/profiling"
 	"repro/internal/service"
 )
@@ -61,12 +70,17 @@ func main() {
 		batchW    = flag.Int("batch", 1, "experiments interleaved per worker (>1 enables the batched runner)")
 		jsonOut   = flag.Bool("json", false, "emit NDJSON outcomes (one object per experiment) instead of tables")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event timeline of every simulation to this file (serial mode only)")
+		profPath  = flag.String("profile", "", "write a guest cycle profile (pprof format, gzipped) of every simulation to this file (serial mode only)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *tracePath != "" && (*parallel != 0 || *batchW > 1) {
 		fmt.Fprintln(os.Stderr, "-trace requires the serial runner (drop -parallel/-batch)")
+		os.Exit(2)
+	}
+	if *profPath != "" && (*parallel != 0 || *batchW > 1) {
+		fmt.Fprintln(os.Stderr, "-profile requires the serial runner (drop -parallel/-batch)")
 		os.Exit(2)
 	}
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
@@ -142,6 +156,9 @@ func main() {
 		if *tracePath != "" {
 			ctx.EnableRecording(0)
 		}
+		if *profPath != "" {
+			ctx.EnableProfiling()
+		}
 		for _, e := range selected {
 			report(harness.RunOn(ctx, e))
 		}
@@ -149,6 +166,12 @@ func main() {
 			if err := writeTraceFile(*tracePath, ctx.Recorded()); err != nil {
 				failed++
 				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			}
+		}
+		if *profPath != "" {
+			if err := writeProfileFile(*profPath, ctx.Profiled()); err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "profile: %v\n", err)
 			}
 		}
 	}
@@ -185,6 +208,32 @@ func writeTraceFile(path string, recorded []harness.RecordedRun) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "trace: wrote %d simulation timelines to %s\n", len(runs), path)
+	return nil
+}
+
+// writeProfileFile dumps every simulation the context profiled as one
+// gzipped pprof protobuf (inspect with `go tool pprof`; see
+// OBSERVABILITY.md).
+func writeProfileFile(path string, profiled []harness.ProfiledRun) error {
+	if len(profiled) == 0 {
+		return fmt.Errorf("no simulations profiled (every run was a cache hit?)")
+	}
+	runs := make([]prof.Run, len(profiled))
+	for i, pr := range profiled {
+		runs[i] = prof.Run{Label: pr.Label, Prog: pr.Prog, Prof: pr.Prof}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := prof.Write(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "profile: wrote %d simulation profiles to %s\n", len(runs), path)
 	return nil
 }
 

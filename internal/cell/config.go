@@ -44,6 +44,14 @@ type Config struct {
 	// so Config remains a comparable pool key.
 	Record    bool
 	RecordCap int
+
+	// Profile enables the guest cycle profiler: every simulated SPU
+	// cycle is attributed to (template block, PC, stall cause) in a
+	// stats.Profile surfaced as Result.Prof (export with internal/prof).
+	// Like Record it is a value type (Config stays a comparable pool
+	// key) and it does not perturb simulation results — the profile is
+	// fed from the same charges as the stats breakdown.
+	Profile bool
 }
 
 // DefaultConfig returns the paper's operating point (Tables 2 and 4,

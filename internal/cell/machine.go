@@ -37,6 +37,7 @@ type Machine struct {
 	ppe    *PPE
 	tracer *trace.Buffer
 	rec    *trace.Recorder // non-nil when cfg.Record
+	prof   *stats.Profile  // non-nil when cfg.Profile; shared by all SPUs
 
 	faultErr error
 	drained  bool      // the one-shot post-completion DMA drain has run
@@ -97,6 +98,11 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 	} else if cfg.TraceCap > 0 {
 		m.tracer = trace.NewBuffer(cfg.TraceCap)
 	}
+	if cfg.Profile {
+		// One shared store: the engine is single-threaded and the profile
+		// aggregates across SPEs (per-PC attribution is program-relative).
+		m.prof = stats.NewProfile()
+	}
 	m.net = noc.New(cfg.Noc)
 	m.net.Rec = m.rec
 	netHandle := m.eng.Register(m.net)
@@ -144,6 +150,7 @@ func New(cfg Config, prog *program.Program) (*Machine, error) {
 		m.net.Register(cfg.spuEP(i), pipe)
 		pipe.Fault = m.fail
 		pipe.Rec = m.rec
+		pipe.Prof = m.prof
 		// The only components that ever hold a reference to this SPE's
 		// local store are its LSE, its MFC and its SPU (see the
 		// constructor calls above) — plus the network, during whose
@@ -239,6 +246,9 @@ func (m *Machine) Reset(prog *program.Program) error {
 	} else if m.cfg.TraceCap > 0 {
 		m.tracer = trace.NewBuffer(m.cfg.TraceCap)
 	}
+	// Pool safety: a reused machine must not leak the previous run's
+	// samples (Reset keeps the component wiring, clears the store).
+	m.prof.Reset()
 	m.net.Reset()
 	m.memory.Reset()
 	for _, spe := range m.spes {
@@ -334,6 +344,7 @@ type Result struct {
 	Net      noc.Stats
 	Trace    *trace.Buffer   // non-nil when Config.TraceCap > 0 or Config.Record
 	Rec      *trace.Recorder // non-nil when Config.Record
+	Prof     *stats.Profile  // non-nil when Config.Profile (guest cycle profile)
 	CheckErr error           // result of the program's functional check
 }
 
@@ -425,7 +436,7 @@ func (m *Machine) Step(budget sim.Cycle) (StepStatus, error) {
 func (m *Machine) Finish() (*Result, error) {
 	end := m.endAt
 	res := &Result{Cycles: end, Tokens: m.ppe.Tokens(), Mem: m.memory.Stats(),
-		Net: m.net.Stats(), Trace: m.tracer, Rec: m.rec}
+		Net: m.net.Stats(), Trace: m.tracer, Rec: m.rec, Prof: m.prof}
 	for _, spe := range m.spes {
 		spe.SPU.Finalize(end)
 		st := spe.SPU.Stats()

@@ -1,0 +1,115 @@
+package cell_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/stats"
+)
+
+func profileConfig(spes int, profile bool) cell.Config {
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = spes
+	cfg.MaxCycles = 10_000_000
+	cfg.Profile = profile
+	return cfg
+}
+
+// TestProfilingDoesNotPerturbResults is the machine-level regression
+// guard of the guest profiler: the same program run with Profile on and
+// off must produce identical simulation results — the profiler only
+// mirrors charges the stats already make, it never changes them.
+func TestProfilingDoesNotPerturbResults(t *testing.T) {
+	base := runProgram(t, profileConfig(2, false), pfProgram(t))
+	prof := runProgram(t, profileConfig(2, true), pfProgram(t))
+
+	if base.Cycles != prof.Cycles {
+		t.Fatalf("cycles differ: plain %d, profiled %d", base.Cycles, prof.Cycles)
+	}
+	if !reflect.DeepEqual(base.Tokens, prof.Tokens) {
+		t.Fatalf("tokens differ: %v vs %v", base.Tokens, prof.Tokens)
+	}
+	if !reflect.DeepEqual(base.Agg, prof.Agg) {
+		t.Fatalf("aggregate stats differ:\nplain    %+v\nprofiled %+v", base.Agg, prof.Agg)
+	}
+	if !reflect.DeepEqual(base.SPUs, prof.SPUs) {
+		t.Fatal("per-SPU stats differ")
+	}
+	if !reflect.DeepEqual(base.Net, prof.Net) {
+		t.Fatalf("NoC stats differ: %+v vs %+v", base.Net, prof.Net)
+	}
+	if base.Prof != nil {
+		t.Fatal("profile present without Config.Profile")
+	}
+	if prof.Prof == nil || prof.Prof.Len() == 0 {
+		t.Fatal("no samples on profiled result")
+	}
+}
+
+// TestProfileMatchesStats cross-checks the profile against the
+// machine's own counters: both are fed from the same charge sites, so
+// totals must agree exactly, per cause and overall, and a
+// prefetch-transformed run must attribute cycles to PF blocks.
+func TestProfileMatchesStats(t *testing.T) {
+	res := runProgram(t, profileConfig(2, true), pfProgram(t))
+	if got, want := res.Prof.Total(), res.Agg.Breakdown.Total(); got != want {
+		t.Fatalf("profile total %d != breakdown total %d", got, want)
+	}
+	if res.Prof.Causes() != res.Agg.Causes {
+		t.Fatalf("profile causes %v != aggregate %v", res.Prof.Causes(), res.Agg.Causes)
+	}
+	if res.Agg.Causes.Buckets() != res.Agg.Breakdown {
+		t.Fatalf("cause fold %v != breakdown %v", res.Agg.Causes.Buckets(), res.Agg.Breakdown)
+	}
+	var pfCycles, idleCycles int64
+	for _, s := range res.Prof.Samples() {
+		if s.Loc.Template < 0 {
+			idleCycles += s.Total
+			continue
+		}
+		if s.Loc.Block == 0 { // program.PF
+			pfCycles += s.Total
+		}
+	}
+	if pfCycles == 0 {
+		t.Fatal("prefetch-transformed run attributed no cycles to PF blocks")
+	}
+	if idleCycles != res.Agg.Breakdown[stats.Idle] {
+		t.Fatalf("idle-loc cycles %d != Idle bucket %d", idleCycles, res.Agg.Breakdown[stats.Idle])
+	}
+}
+
+// TestProfileSurvivesReset: machine reuse keeps the same profile store
+// (the SPU wiring set in New stays valid) but clears its samples — a
+// pooled machine must not leak a previous run's attribution.
+func TestProfileSurvivesReset(t *testing.T) {
+	m, err := cell.New(profileConfig(2, true), pfProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Prof.Len() == 0 {
+		t.Fatal("first run profiled nothing")
+	}
+	s1 := res1.Prof.Samples()
+	if err := m.Reset(pfProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+	if res1.Prof.Len() != 0 {
+		t.Fatal("Reset left samples in the profile store")
+	}
+	res2, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Prof != res1.Prof {
+		t.Fatal("Reset replaced the profile store (SPU wiring would be stale)")
+	}
+	if !reflect.DeepEqual(res2.Prof.Samples(), s1) {
+		t.Fatal("identical rerun after Reset produced a different profile")
+	}
+}

@@ -60,6 +60,7 @@ func (s *BatchState) Context(yield func()) *Context {
 		yield:     yield,
 		simCycles: new(int64),
 		recs:      &recState{},
+		profs:     &profState{},
 	}
 }
 

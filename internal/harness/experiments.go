@@ -174,14 +174,33 @@ func singleRunExperiment(ctx *Context, bench string, pf bool) (*Outcome, error) 
 	}
 	t.AddRow(breakdownRow(ctx.benchLabel(bench), res)...)
 	bd := res.AvgBreakdownPct()
-	return &Outcome{Tables: []*stats.Table{t}, Metrics: map[string]float64{
+	metrics := map[string]float64{
 		"cycles":       float64(res.Cycles),
 		"threads":      float64(res.Agg.Threads),
 		"working_pct":  bd[stats.Working],
 		"mem_pct":      bd[stats.MemStall],
 		"prefetch_pct": bd[stats.Prefetch],
 		"noc_messages": float64(res.Net.Messages),
-	}}, nil
+		"stall_pct":    res.Agg.Breakdown.StallPct(),
+	}
+	ct := &stats.Table{
+		Title:   fmt.Sprintf("%s (pf=%v) — cycle attribution by cause", bench, pf),
+		Headers: []string{"cause", "bucket", "cycles", "share"},
+	}
+	total := res.Agg.Breakdown.Total()
+	for c := stats.Cause(0); c < stats.NumCauses; c++ {
+		n := res.Agg.Causes[c]
+		metrics["cause_"+c.Slug()+"_cycles"] = float64(n)
+		if n == 0 {
+			continue // keep the table to causes that actually occurred
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(n) / float64(total)
+		}
+		ct.AddRow(c.Slug(), c.Bucket().String(), fmt.Sprintf("%d", n), stats.Pct(share))
+	}
+	return &Outcome{Tables: []*stats.Table{t, ct}, Metrics: metrics}, nil
 }
 
 func breakdownExperiment(ctx *Context, pf bool) (*Outcome, error) {
@@ -202,6 +221,7 @@ func breakdownExperiment(ctx *Context, pf bool) (*Outcome, error) {
 		metrics[bench+"_prefetch_pct"] = bd[stats.Prefetch]
 		metrics[bench+"_working_pct"] = bd[stats.Working]
 		metrics[bench+"_lse_pct"] = bd[stats.LSEStall]
+		metrics[bench+"_stall_pct"] = res.Agg.Breakdown.StallPct()
 	}
 	return &Outcome{Tables: []*stats.Table{t}, Metrics: metrics}, nil
 }

@@ -33,6 +33,13 @@ var (
 	InflightDedupHits atomic.Int64
 )
 
+// CauseCycles accumulates simulated SPU cycles per stall cause across
+// every Context, with the same accounting rule as Context.SimCycles:
+// every cache request bills the result's totals, hit or miss, so the
+// numbers track the workloads served, not which runner computed them.
+// Exposed as dtad_sim_stall_cycles_total{cause=...} by the service.
+var CauseCycles [stats.NumCauses]atomic.Int64
+
 // Options configures an experiment run.
 type Options struct {
 	SPEs    int  // default 8 (the paper's platform)
@@ -170,6 +177,9 @@ type Context struct {
 	// this context (and its Sub contexts) actually computes. Shared by
 	// pointer so derived contexts feed the same trace.
 	recs *recState
+	// profs mirrors recs for the guest cycle profiler: one per-PC stall
+	// attribution per simulation actually computed (cell.Config.Profile).
+	profs *profState
 }
 
 // RecordedRun is one machine run's timeline recording plus the label it
@@ -185,6 +195,21 @@ type recState struct {
 	cap   int
 	label string // set by run()/runUnchunked around execute()
 	runs  []RecordedRun
+}
+
+// ProfiledRun is one machine run's guest cycle profile plus the program
+// that symbolizes it — exactly the inputs prof.Run wants.
+type ProfiledRun struct {
+	Label string
+	SPEs  int
+	Prog  *program.Program
+	Prof  *stats.Profile
+}
+
+type profState struct {
+	on    bool
+	label string // set by run()/runUnchunked around execute()
+	runs  []ProfiledRun
 }
 
 // NewContext prepares a context with its own machine pool.
@@ -205,6 +230,7 @@ func NewContextWithPool(opt Options, pool *cell.Pool) *Context {
 		inflight:  make(map[runKey]bool),
 		simCycles: new(int64),
 		recs:      &recState{},
+		profs:     &profState{},
 	}
 }
 
@@ -228,6 +254,26 @@ func (c *Context) Recorded() []RecordedRun {
 	return c.recs.runs
 }
 
+// EnableProfiling makes every simulation this context computes collect
+// a guest cycle profile (per-PC stall attribution; see cell.Config
+// .Profile). Profiled machines bypass the pool — a pooled machine's
+// profile is cleared on reuse — so enable this only for dedicated
+// profiling runs.
+func (c *Context) EnableProfiling() {
+	c.profs.on = true
+}
+
+// Profiled returns the guest profiles collected so far, one per
+// simulation computed while profiling was enabled (cache hits reuse
+// the already-profiled run and add nothing). Export with
+// internal/prof.Write.
+func (c *Context) Profiled() []ProfiledRun {
+	if c.profs == nil {
+		return nil
+	}
+	return c.profs.runs
+}
+
 // Sub derives a context at a different operating point that shares this
 // context's machinery: machine pool, run and program caches (run keys
 // embed the latency and knobs that matter), inflight marks, batching
@@ -248,6 +294,7 @@ func (c *Context) Sub(opt Options) *Context {
 		inflight:   c.inflight,
 		simCycles:  c.simCycles,
 		recs:       c.recs,
+		profs:      c.profs,
 	}
 }
 
@@ -352,6 +399,7 @@ func (c *Context) memoRun(key runKey, compute func() (*cell.Result, error)) (*ce
 				InflightDedupHits.Add(1)
 			}
 			*c.simCycles += int64(r.Cycles)
+			addCauseCycles(r)
 			return r, nil
 		}
 		if c.yield == nil || !c.inflight[key] {
@@ -371,7 +419,18 @@ func (c *Context) memoRun(key runKey, compute func() (*cell.Result, error)) (*ce
 	RunsExecuted.Add(1)
 	c.cache[key] = res
 	*c.simCycles += int64(res.Cycles)
+	addCauseCycles(res)
 	return res, nil
+}
+
+// addCauseCycles bills one result's per-cause cycle totals to the
+// process-wide counters (memoRun's two accounting points).
+func addCauseCycles(res *cell.Result) {
+	for cs := stats.Cause(0); cs < stats.NumCauses; cs++ {
+		if n := res.Agg.Causes[cs]; n != 0 {
+			CauseCycles[cs].Add(n)
+		}
+	}
 }
 
 // run executes (with caching) one benchmark configuration.
@@ -383,8 +442,9 @@ func (c *Context) run(bench string, spes int, prefetchOn bool, v variant) (*cell
 		if err != nil {
 			return nil, err
 		}
-		if c.recs.on {
-			c.recs.label = fmt.Sprintf("%s spes=%d pf=%v lat=%d", bench, spes, prefetchOn, c.Opt.Latency)
+		if c.recs.on || c.profs.on {
+			label := fmt.Sprintf("%s spes=%d pf=%v lat=%d", bench, spes, prefetchOn, c.Opt.Latency)
+			c.recs.label, c.profs.label = label, label
 		}
 		res, err := c.execute(prog, spes, v)
 		if err != nil {
@@ -402,8 +462,9 @@ func (c *Context) runUnchunked(bench string, spes int, prefetchOn bool) (*cell.R
 		if err != nil {
 			return nil, err
 		}
-		if c.recs.on {
-			c.recs.label = fmt.Sprintf("%s spes=%d pf=%v lat=%d unchunked", bench, spes, prefetchOn, c.Opt.Latency)
+		if c.recs.on || c.profs.on {
+			label := fmt.Sprintf("%s spes=%d pf=%v lat=%d unchunked", bench, spes, prefetchOn, c.Opt.Latency)
+			c.recs.label, c.profs.label = label, label
 		}
 		return c.execute(prog, spes, variant{dmaLat: -1})
 	})
@@ -442,6 +503,10 @@ func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Res
 		cfg.Record = true
 		cfg.RecordCap = c.recs.cap
 	}
+	profiling := c.profs != nil && c.profs.on
+	if profiling {
+		cfg.Profile = true
+	}
 	m, err := c.pool.Get(cfg, prog)
 	if err != nil {
 		return nil, err
@@ -465,7 +530,17 @@ func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Res
 			label = fmt.Sprintf("run spes=%d", spes)
 		}
 		c.recs.runs = append(c.recs.runs, RecordedRun{Label: label, SPEs: spes, Rec: res.Rec})
-	} else {
+	}
+	if profiling {
+		// Same lifetime rule as recordings: a pooled machine's profile is
+		// cleared on reuse, so profiled machines stay out of the pool.
+		label := c.profs.label
+		if label == "" {
+			label = fmt.Sprintf("run spes=%d", spes)
+		}
+		c.profs.runs = append(c.profs.runs, ProfiledRun{Label: label, SPEs: spes, Prog: prog, Prof: res.Prof})
+	}
+	if !recording && !profiling {
 		// Safe to release immediately: Result copies all statistics, the
 		// trace buffer is replaced (not cleared) on reuse, and harness
 		// experiments never read the machine's memory image.

@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/prof"
+	"repro/internal/stats"
 )
 
 // API routes (all JSON):
@@ -56,16 +58,21 @@ type SweepDoc struct {
 
 // StatsDoc is the /v1/stats payload.
 type StatsDoc struct {
-	Engine        string         `json:"engine"`
-	Cache         CacheStats     `json:"cache"`
-	CacheHitRatio float64        `json:"cache_hit_ratio"`
-	Simulations   int64          `json:"simulations"`
-	SimCycles     int64          `json:"sim_cycles"`
-	Workers       int            `json:"workers"`
-	BatchWidth    int            `json:"batch_width"`
-	QueueLen      int            `json:"queue_len"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Jobs          map[string]int `json:"jobs"`
+	Engine        string     `json:"engine"`
+	Cache         CacheStats `json:"cache"`
+	CacheHitRatio float64    `json:"cache_hit_ratio"`
+	Simulations   int64      `json:"simulations"`
+	SimCycles     int64      `json:"sim_cycles"`
+	// StallCycles breaks sim_cycles down by stall cause (slug -> cycles;
+	// process-wide, same accounting as sim_cycles). StallPct is the share
+	// of those cycles in stall buckets (MemStall/LSStall/LSEStall).
+	StallCycles   map[string]int64 `json:"stall_cycles"`
+	StallPct      float64          `json:"stall_pct"`
+	Workers       int              `json:"workers"`
+	BatchWidth    int              `json:"batch_width"`
+	QueueLen      int              `json:"queue_len"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Jobs          map[string]int   `json:"jobs"`
 }
 
 // runRequest is the POST /v1/runs body.
@@ -227,12 +234,22 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	if total := cs.Hits + cs.Misses; total > 0 {
 		ratio = float64(cs.Hits) / float64(total)
 	}
+	var causes stats.CauseBreakdown
+	for c := stats.Cause(0); c < stats.NumCauses; c++ {
+		causes[c] = harness.CauseCycles[c].Load()
+	}
+	stallCycles := make(map[string]int64, stats.NumCauses)
+	for c := stats.Cause(0); c < stats.NumCauses; c++ {
+		stallCycles[c.Slug()] = causes[c]
+	}
 	writeJSON(w, http.StatusOK, StatsDoc{
 		Engine:        EngineVersion,
 		Cache:         cs,
 		CacheHitRatio: ratio,
 		Simulations:   s.Simulations(),
 		SimCycles:     s.SimCycles(),
+		StallCycles:   stallCycles,
+		StallPct:      causes.Buckets().StallPct(),
 		Workers:       s.Workers(),
 		BatchWidth:    s.BatchWidth(),
 		QueueLen:      s.QueueLen(),
@@ -253,6 +270,10 @@ func (s *Service) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("trace") == "1" {
 		s.handleTraceRun(w, r, req)
+		return
+	}
+	if r.URL.Query().Get("profile") == "1" {
+		s.handleProfileRun(w, r, req)
 		return
 	}
 	job, err := s.Submit(req.Experiment, req.Options.Harness())
@@ -332,6 +353,45 @@ func (s *Service) handleTraceRun(w http.ResponseWriter, r *http.Request, req run
 	w.Header().Set("Content-Type", "application/json")
 	if err := obs.WriteTrace(w, runs); err != nil {
 		s.log.Error("trace write failed", "request_id", requestID(r), "error", err.Error())
+	}
+}
+
+// handleProfileRun serves POST /v1/runs?profile=1: the experiment runs
+// synchronously on the request goroutine with the guest cycle profiler
+// enabled and the response is a gzipped pprof protobuf (save it and
+// inspect with `go tool pprof`), not a ResultDoc. Like ?trace=1 the run
+// bypasses the queue and the result cache: profiling is a debugging
+// path and its output is not content-addressed. This profiles the
+// simulated machine; dtad's -debug-addr serves the host process's own
+// net/http/pprof.
+func (s *Service) handleProfileRun(w http.ResponseWriter, r *http.Request, req runRequest) {
+	exp, ok := s.lookup(req.Experiment)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown experiment %q", req.Experiment)
+		return
+	}
+	opt := req.Options.Harness().WithDefaults()
+	ctx := harness.NewContext(opt)
+	ctx.EnableProfiling()
+	res := harness.RunOn(ctx, exp)
+	if res.Err != nil {
+		writeError(w, http.StatusInternalServerError, "profile run failed: %v", res.Err)
+		return
+	}
+	profiled := ctx.Profiled()
+	if len(profiled) == 0 {
+		writeError(w, http.StatusInternalServerError, "experiment %q profiled no simulations", req.Experiment)
+		return
+	}
+	runs := make([]prof.Run, len(profiled))
+	for i, pr := range profiled {
+		runs[i] = prof.Run{Label: pr.Label, Prog: pr.Prog, Prof: pr.Prof}
+	}
+	s.log.Info("profile run served",
+		"request_id", requestID(r), "experiment", exp.ID, "runs", len(runs))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := prof.Write(w, runs); err != nil {
+		s.log.Error("profile write failed", "request_id", requestID(r), "error", err.Error())
 	}
 }
 

@@ -26,9 +26,11 @@ import (
 // under. Bump it whenever a change to the engine, workloads, ISA or
 // harness can alter any experiment's cycle counts or stats — old cached
 // results then stop matching new submissions instead of serving stale
-// numbers. The current value corresponds to the PR 1 event-queue
-// scheduler (verified metric-identical to the seed's linear scan).
-const EngineVersion = "celldta/2"
+// numbers. The current value corresponds to the guest cycle profiler PR:
+// cycle counts are untouched (profiling is proven non-perturbing), but
+// experiment outcomes gained stall_pct and per-cause cycle metrics, so
+// cached docs from celldta/2 would be missing them.
+const EngineVersion = "celldta/3"
 
 // keySchema versions the hash pre-image layout itself, independently of
 // engine semantics.

@@ -12,7 +12,7 @@ import (
 // here proves the key is stable across processes and machines — the
 // property that makes cached results addressable from anywhere. It must
 // only ever change together with EngineVersion or keySchema.
-const goldenKey = "d708ba3c78e922124890d6fd875021b41bc8b4e98d0c7cc1529bddd5da77a77e"
+const goldenKey = "ef7c1f0c419b4d9800028074a110e7b7f0849873e6573ce625122002fcbbc6bd"
 
 func TestRunKeyGolden(t *testing.T) {
 	got := RunKey("fig7", harness.Options{SPEs: 8, Latency: 150, Quick: true, Seed: 42})
@@ -65,7 +65,7 @@ func TestRunKeyRepeatable(t *testing.T) {
 // experiment. Synth keys fold in the generator version: it must change
 // when (and only when) EngineVersion, keySchema or synth.GenVersion
 // changes.
-const goldenSynthKey = "0e9bdd77b37c42a71d2f2bbcacd0712ef3543ffc9661b9574e64ee7d9d6d52bb"
+const goldenSynthKey = "a3a45dcfb78080bae6782311775111886760ebd6bbb622f27def66e7d8e6073b"
 
 func TestSynthRunKeyGolden(t *testing.T) {
 	got := RunKey("synth/0001", harness.Options{SPEs: 8, Latency: 150, Quick: true, Seed: 42})

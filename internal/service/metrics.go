@@ -7,6 +7,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // buildRegistry assembles the process metrics registry served at
@@ -88,6 +89,15 @@ func (s *Service) buildRegistry() {
 	reg.CounterFunc("dtad_harness_inflight_dedup_hits_total",
 		"Run-cache hits that waited on a sibling fiber computing the same key.",
 		func() float64 { return float64(harness.InflightDedupHits.Load()) })
+
+	for c := stats.Cause(0); c < stats.NumCauses; c++ {
+		c := c
+		reg.CounterFunc("dtad_sim_stall_cycles_total",
+			"Cumulative simulated SPU cycles by stall cause (same accounting as dtad_sim_cycles_total).",
+			func() float64 { return float64(harness.CauseCycles[c].Load()) },
+			obs.Label{Name: "cause", Value: c.Slug()},
+			obs.Label{Name: "bucket", Value: c.Bucket().String()})
+	}
 
 	reg.CounterFunc("dtad_batch_tasks_started_total",
 		"Fibers admitted to a cooperative scheduler round.",

@@ -2,10 +2,14 @@ package service
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
+
+	statspkg "repro/internal/stats"
 )
 
 // TestMetricsEndpoint scrapes /metrics after one simulated and one
@@ -36,6 +40,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"dtad_cache_hits_total 1",
 		"dtad_cache_misses_total 1",
 		"# TYPE dtad_sim_cycles_total counter",
+		"# TYPE dtad_sim_stall_cycles_total counter",
+		`cause="blocking_read"`,
+		`cause="dma_program"`,
 		"# TYPE dtad_uptime_seconds gauge",
 		"dtad_queue_depth 0",
 		`dtad_jobs{state="done"} 2`,
@@ -86,6 +93,59 @@ func TestStatsEnriched(t *testing.T) {
 	}
 	if stats.Simulations != 1 {
 		t.Fatalf("simulations = %d, want 1", stats.Simulations)
+	}
+	// Per-cause cycle totals: every cause slug present, and the executed
+	// simulation must have charged at least the issue cause (counters are
+	// process-wide, so assert presence and floor rather than exact values).
+	if len(stats.StallCycles) != int(statspkg.NumCauses) {
+		t.Fatalf("stall_cycles has %d entries, want %d: %v",
+			len(stats.StallCycles), statspkg.NumCauses, stats.StallCycles)
+	}
+	if stats.StallCycles["issue"] <= 0 {
+		t.Fatalf("stall_cycles[issue] = %d, want > 0", stats.StallCycles["issue"])
+	}
+}
+
+// TestProfileRunEndpoint exercises POST /v1/runs?profile=1: the
+// response is a gzipped pprof protobuf of the guest profile, the run
+// bypasses the cache, and the simulations counter stays untouched.
+func TestProfileRunEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := `{"experiment":"mmul-pf","options":{"quick":true,"spes":2,"latency":60}}`
+	resp := postJSON(t, ts.URL+"/v1/runs?profile=1", req)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile run: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("profile body is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	// The string table carries the symbolised names, so the simulated
+	// program and the sample-type slugs must appear in the raw protobuf.
+	for _, want := range []string{"cycles", "blocking_read", "mmul"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Fatalf("profile missing %q", want)
+		}
+	}
+	if n := s.Simulations(); n != 0 {
+		t.Fatalf("profile run bumped the simulations counter to %d", n)
+	}
+	if cs := s.Cache().Stats(); cs.Len != 0 {
+		t.Fatalf("profile run populated the result cache (%d entries)", cs.Len)
+	}
+
+	bad := postJSON(t, ts.URL+"/v1/runs?profile=1", `{"experiment":"nope"}`)
+	badBody := readAll(t, bad)
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad profile run: %d %s", bad.StatusCode, badBody)
 	}
 }
 

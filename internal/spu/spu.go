@@ -96,7 +96,8 @@ type prodClass uint8
 const (
 	prodNone prodClass = iota
 	prodALU
-	prodLS // local store / frame load
+	prodLS  // local store / frame load
+	prodMFC // MFC status read (MFCSTAT) — a dependent wait is a DMA poll
 )
 
 // uop flag bits.
@@ -173,12 +174,13 @@ type SPU struct {
 	uopTab [][]uop
 
 	ph          phase
-	gapBucket   stats.Bucket // bucket for cycles while sleeping
-	accounted   sim.Cycle    // cycles < accounted are attributed
-	nextIssueAt sim.Cycle    // branch bubbles / dispatch refill
-	burstLimit  sim.Cycle    // resolved Config.BurstMax (>= 1)
-	resumeAt    sim.Cycle    // burst horizon: cycles below are already simulated
-	stallUntil  sim.Cycle    // ready cycle of the register that blocked issue
+	gapCause    stats.Cause // cause for cycles while sleeping
+	gapLoc      stats.Loc   // guest location the sleep gap attributes to
+	accounted   sim.Cycle   // cycles < accounted are attributed
+	nextIssueAt sim.Cycle   // branch bubbles / dispatch refill
+	burstLimit  sim.Cycle   // resolved Config.BurstMax (>= 1)
+	resumeAt    sim.Cycle   // burst horizon: cycles below are already simulated
+	stallUntil  sim.Cycle   // ready cycle of the register that blocked issue
 
 	// hzn caches the engine's quiescence horizon (the earliest cycle
 	// any other component is scheduled to run — the window in which
@@ -211,6 +213,13 @@ type SPU struct {
 	Rec       *trace.Recorder
 	unitStart sim.Cycle
 
+	// Prof, when non-nil, receives per-(location, cause) cycle samples
+	// from the same charge paths that feed the bucket breakdown, so
+	// profiled attribution is definitionally consistent with the stats
+	// and burst windows attribute in bulk (one Add per charge, not per
+	// cycle). Profiling off (nil Prof) costs one nil check per charge.
+	Prof *stats.Profile
+
 	// Fault receives execution errors (invalid addresses, bad frame
 	// pointers); the machine aborts the run.
 	Fault func(error)
@@ -232,9 +241,10 @@ func New(cfg Config, id, spe, memID int, net *noc.Network, lseUnit *dta.LSE,
 	s := &SPU{
 		cfg: cfg, id: id, spe: spe, memID: memID,
 		net: net, lse: lseUnit, dma: dma, store: store, prog: prog,
-		ph:        phIdle,
-		gapBucket: stats.Idle,
-		Fault:     func(err error) { panic(err) },
+		ph:       phIdle,
+		gapCause: stats.CauseIdle,
+		gapLoc:   stats.IdleLoc,
+		Fault:    func(err error) { panic(err) },
 	}
 	s.burstLimit = sim.Cycle(cfg.BurstMax)
 	if cfg.BurstMax == 0 {
@@ -447,7 +457,8 @@ func (s *SPU) Reset(prog *program.Program) {
 	s.pc = 0
 	s.uops = nil
 	s.ph = phIdle
-	s.gapBucket = stats.Idle
+	s.gapCause = stats.CauseIdle
+	s.gapLoc = stats.IdleLoc
 	s.accounted = 0
 	s.nextIssueAt = 0
 	s.resumeAt = 0
@@ -465,39 +476,47 @@ func (s *SPU) Reset(prog *program.Program) {
 // run stops) and records the run length.
 func (s *SPU) Finalize(end sim.Cycle) {
 	if end > s.accounted {
-		s.st.Breakdown.Add(s.gapBucket, int64(end-s.accounted))
+		n := int64(end - s.accounted)
+		s.st.Charge(s.gapCause, n)
+		s.Prof.Add(s.gapLoc, s.gapCause, n)
 		s.accounted = end
 	}
 	s.st.Cycles = int64(end)
 }
 
-// account charges the sleep gap [s.accounted, now) to gapBucket.
+// account charges the sleep gap [s.accounted, now) to gapCause at
+// gapLoc — the PC of the instruction that entered the wait (or IdleLoc).
 func (s *SPU) account(now sim.Cycle) {
 	if now > s.accounted {
-		s.st.Breakdown.Add(s.gapBucket, int64(now-s.accounted))
+		n := int64(now - s.accounted)
+		s.st.Charge(s.gapCause, n)
+		s.Prof.Add(s.gapLoc, s.gapCause, n)
 		s.accounted = now
 	}
 }
 
-// chargeCycle attributes the single cycle `now` to bucket.
-func (s *SPU) chargeCycle(now sim.Cycle, b stats.Bucket) {
+// chargeCycle attributes the single cycle `now` to cause c at loc.
+func (s *SPU) chargeCycle(now sim.Cycle, c stats.Cause, loc stats.Loc) {
 	s.account(now)
 	if s.accounted == now {
-		s.st.Breakdown.Add(b, 1)
+		s.st.Charge(c, 1)
+		s.Prof.Add(loc, c, 1)
 		s.accounted = now + 1
 	}
 }
 
-// chargeCycles attributes n consecutive cycles starting at t to bucket —
-// the bulk form of chargeCycle used by the burst fast path to batch
-// pipeline bubbles (dispatch refill, branch penalty, MFC channel busy).
-func (s *SPU) chargeCycles(t sim.Cycle, n int64, b stats.Bucket) {
+// chargeCycles attributes n consecutive cycles starting at t to cause c
+// at loc — the bulk form of chargeCycle used by the burst fast path to
+// batch pipeline bubbles (dispatch refill, branch penalty, MFC channel
+// busy) and scoreboard stalls: one profile Add covers the whole window.
+func (s *SPU) chargeCycles(t sim.Cycle, n int64, c stats.Cause, loc stats.Loc) {
 	if n <= 0 {
 		return
 	}
 	s.account(t)
 	if s.accounted == t {
-		s.st.Breakdown.Add(b, n)
+		s.st.Charge(c, n)
+		s.Prof.Add(loc, c, n)
 		s.accounted = t + sim.Cycle(n)
 	}
 }
@@ -602,13 +621,32 @@ func (s *SPU) advanceBlock(now sim.Cycle) bool {
 	return true
 }
 
-// bucketFor maps an execution cycle to its breakdown bucket: everything
-// inside a PF block is prefetch overhead (paper Fig. 5 "Prefetching").
-func (s *SPU) bucketFor(b stats.Bucket) stats.Bucket {
+// causeFor maps an execution cycle's raw cause to the attributed one:
+// everything inside a PF block is prefetch overhead (paper Fig. 5
+// "Prefetching"), refined into DMA-wait (cycles blocked on the DMA
+// engine itself: status polls, full command queue) vs DMA-programming
+// (everything else — issue, channel occupancy, dependency waits). The
+// folded cause's bucket reproduces the historical bucketFor mapping
+// exactly: any cause inside PF lands in stats.Prefetch.
+func (s *SPU) causeFor(c stats.Cause) stats.Cause {
 	if s.curKind == dta.WorkPF {
-		return stats.Prefetch
+		switch c {
+		case stats.CauseMFCWait, stats.CauseMFCQueueFull:
+			return stats.CauseDMAWait
+		}
+		return stats.CauseDMAProgram
 	}
-	return b
+	return c
+}
+
+// curLoc returns the guest location of the current PC (IdleLoc when no
+// work unit is resident). Cheap enough to compute unconditionally: the
+// profiler consumes it only when enabled.
+func (s *SPU) curLoc() stats.Loc {
+	if s.cur == nil {
+		return stats.IdleLoc
+	}
+	return stats.Loc{Template: int32(s.cur.Template), Block: uint8(s.block), PC: int32(s.pc)}
 }
 
 // Tick executes one or more pipeline cycles. The burst fast path: when
@@ -675,14 +713,16 @@ func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 	case phIdle:
 		s.account(now)
 		if !s.dispatch(now) {
-			s.gapBucket = stats.Idle
+			s.gapCause = stats.CauseIdle
+			s.gapLoc = stats.IdleLoc
 			return sim.Never
 		}
 	case phRun:
 		if s.cur == nil && !s.dispatch(now) {
 			s.account(now)
 			s.ph = phIdle
-			s.gapBucket = stats.Idle
+			s.gapCause = stats.CauseIdle
+			s.gapLoc = stats.IdleLoc
 			return sim.Never
 		}
 	}
@@ -699,15 +739,18 @@ func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 			if end > limit {
 				end = limit
 			}
-			s.chargeCycles(t, int64(end-t), s.bucketFor(stats.Working))
+			s.chargeCycles(t, int64(end-t), s.causeFor(stats.CauseBubble), s.curLoc())
 			t = end
 			if t >= limit || !s.burstableAt(t) {
 				return t
 			}
 		}
-		bucket, issued, sleep := s.issueCycle(t)
+		// The cycle attributes to the PC it started at: the first
+		// instruction considered (issued or blocked) this cycle.
+		loc := s.curLoc()
+		cause, issued, sleep := s.issueCycle(t)
 		if sleep {
-			s.chargeCycle(t, bucket)
+			s.chargeCycle(t, cause, loc)
 			return sim.Never
 		}
 		if issued == 0 && s.stallUntil > t+1 {
@@ -720,10 +763,10 @@ func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 			if end > limit {
 				end = limit
 			}
-			s.chargeCycles(t, int64(end-t), bucket)
+			s.chargeCycles(t, int64(end-t), cause, loc)
 			t = end
 		} else {
-			s.chargeCycle(t, bucket)
+			s.chargeCycle(t, cause, loc)
 			t++
 		}
 		if t >= limit {
@@ -838,12 +881,12 @@ func (s *SPU) computeHorizon() sim.Cycle {
 }
 
 // issueCycle attempts to issue up to two instructions at cycle now. It
-// returns the bucket for this cycle, how many instructions issued, and
-// whether the SPU should sleep (blocking wait entered).
-func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, int, bool) {
+// returns the stall cause for this cycle, how many instructions issued,
+// and whether the SPU should sleep (blocking wait entered).
+func (s *SPU) issueCycle(now sim.Cycle) (stats.Cause, int, bool) {
 	issued := 0
 	memUsed, cmpUsed := false, false
-	bucket := s.bucketFor(stats.Working)
+	cycleCause := s.causeFor(stats.CauseIssue)
 	s.stallUntil = 0
 
 	for issued < 2 && s.cur != nil {
@@ -860,7 +903,7 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, int, bool) {
 		}
 		if blocked, cause := s.operandsBlocked(now, u); blocked {
 			if issued == 0 {
-				bucket = s.bucketFor(cause)
+				cycleCause = s.causeFor(cause)
 			}
 			break
 		}
@@ -868,7 +911,7 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, int, bool) {
 		if !ok {
 			// Structural stall outside the pipeline (LSE/MFC full).
 			if issued == 0 {
-				bucket = s.bucketFor(cause)
+				cycleCause = s.causeFor(cause)
 			}
 			break
 		}
@@ -887,7 +930,7 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, int, bool) {
 			cmpUsed = true
 		}
 		if sleep {
-			return s.bucketFor(stats.Working), issued, true
+			return s.causeFor(stats.CauseIssue), issued, true
 		}
 		if u.flags&uopBranch != 0 && s.nextIssueAt > now {
 			break // taken branch ends the issue group
@@ -896,12 +939,13 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Bucket, int, bool) {
 			break // STOP or PF completion inside execute
 		}
 	}
-	return bucket, issued, false
+	return cycleCause, issued, false
 }
 
 // operandsBlocked checks the scoreboard for the instruction's
-// precomputed source registers and reports the stall cause.
-func (s *SPU) operandsBlocked(now sim.Cycle, u *uop) (bool, stats.Bucket) {
+// precomputed source registers and reports the raw stall cause (the
+// caller folds PF-block context via causeFor).
+func (s *SPU) operandsBlocked(now sim.Cycle, u *uop) (bool, stats.Cause) {
 	for i := uint8(0); i < u.nsrc; i++ {
 		if r := u.srcs[i]; s.ready[r] > now {
 			// Record when this register's result lands so the burst
@@ -909,13 +953,16 @@ func (s *SPU) operandsBlocked(now sim.Cycle, u *uop) (bool, stats.Bucket) {
 			// cycle reproduces single-step behaviour exactly (a later
 			// source may then block in turn).
 			s.stallUntil = s.ready[r]
-			if s.prod[r] == prodLS {
-				return true, stats.LSStall
+			switch s.prod[r] {
+			case prodLS:
+				return true, stats.CauseLSWait
+			case prodMFC:
+				return true, stats.CauseMFCWait
 			}
-			return true, stats.Working
+			return true, stats.CauseDepStall
 		}
 	}
-	return false, stats.Working
+	return false, stats.CauseIssue
 }
 
 func (s *SPU) countInstr(cls uint8) {
@@ -975,10 +1022,11 @@ func (s *SPU) latFor(u isa.Unit) sim.Cycle {
 }
 
 // execute performs one instruction. ok=false means a structural stall
-// (retry next cycle, pc unchanged); sleep=true means the SPU enters a
-// blocking wait (pc already advanced). u.lat carries the executing
-// unit's configured result latency.
-func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep bool, cause stats.Bucket) {
+// (retry next cycle, pc unchanged) with the raw stall cause; sleep=true
+// means the SPU enters a blocking wait (pc already advanced, gapCause
+// and gapLoc set to attribute the coming sleep gap). u.lat carries the
+// executing unit's configured result latency.
+func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep bool, cause stats.Cause) {
 	r := func(i uint8) int64 { return s.regs[i] }
 	adv := func() { s.pc++ }
 
@@ -1022,13 +1070,13 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 		}
 		if slot < 0 || slot >= program.MaxFrameSlots {
 			s.Fault(fmt.Errorf("spu%d: frame load slot %d", s.spe, slot))
-			return true, false, stats.Working
+			return true, false, stats.CauseIssue
 		}
 		addr := s.lse.FrameAddr(s.cur.Slot) + slot*8
 		v, err := s.store.Read64(addr)
 		if err != nil {
 			s.Fault(err)
-			return true, false, stats.Working
+			return true, false, stats.CauseIssue
 		}
 		ready := s.store.Access(ls.PortSPU, now, 8)
 		s.setReg(ins.Rd, v, ready, prodLS)
@@ -1036,7 +1084,7 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 
 	case isa.STORE, isa.STOREX:
 		if !s.lse.CanAccept() {
-			return false, false, stats.LSEStall
+			return false, false, stats.CauseLSEBackpressure
 		}
 		slot := int64(ins.Imm)
 		if ins.Op == isa.STOREX {
@@ -1056,11 +1104,11 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 			v, err := s.Magic.MagicRead(addr, width)
 			if err != nil {
 				s.Fault(err)
-				return true, false, stats.Working
+				return true, false, stats.CauseIssue
 			}
 			s.setReg(ins.Rd, v, now+sim.Cycle(s.cfg.PerfectCacheLat), prodLS)
 			adv()
-			return true, false, stats.Working
+			return true, false, stats.CauseIssue
 		}
 		s.reqSeq++
 		s.net.Send(now, noc.Message{
@@ -1069,9 +1117,10 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 		})
 		s.readDst = ins.Rd
 		s.ph = phWaitRead
-		s.gapBucket = s.bucketFor(stats.MemStall)
+		s.gapCause = s.causeFor(stats.CauseBlockingRead)
+		s.gapLoc = s.curLoc()
 		adv()
-		return true, true, stats.Working
+		return true, true, stats.CauseIssue
 
 	case isa.WRITE, isa.WRITE8:
 		width := 4
@@ -1106,7 +1155,7 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 		}
 		if err != nil {
 			s.Fault(err)
-			return true, false, stats.Working
+			return true, false, stats.CauseIssue
 		}
 		ready := s.store.Access(ls.PortSPU, now, 8)
 		s.setReg(ins.Rd, v, ready, prodLS)
@@ -1125,14 +1174,14 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 		}
 		if err != nil {
 			s.Fault(err)
-			return true, false, stats.Working
+			return true, false, stats.CauseIssue
 		}
 		s.store.Access(ls.PortSPU, now, 8)
 		adv()
 
 	case isa.FALLOC, isa.FALLOCX:
 		if !s.lse.CanAccept() {
-			return false, false, stats.LSEStall
+			return false, false, stats.CauseLSEBackpressure
 		}
 		var tmpl, sc int
 		if ins.Op == isa.FALLOC {
@@ -1144,20 +1193,21 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 		s.fallocRd = ins.Rd
 		s.lse.RequestFalloc(now, tmpl, sc, s.reqSeq)
 		s.ph = phWaitFalloc
-		s.gapBucket = s.bucketFor(stats.LSEStall)
+		s.gapCause = s.causeFor(stats.CauseFallocWait)
+		s.gapLoc = s.curLoc()
 		adv()
-		return true, true, stats.Working
+		return true, true, stats.CauseIssue
 
 	case isa.FFREE:
 		if !s.lse.CanAccept() {
-			return false, false, stats.LSEStall
+			return false, false, stats.CauseLSEBackpressure
 		}
 		s.lse.Ffree(now, s.cur)
 		adv()
 
 	case isa.STOP:
 		if !s.lse.CanAccept() {
-			return false, false, stats.LSEStall
+			return false, false, stats.CauseLSEBackpressure
 		}
 		if s.Rec != nil {
 			s.Rec.SPUUnit(s.spe, trace.UnitThread, s.unitStart, now+1, s.cur.Seq, s.cur.Template)
@@ -1165,7 +1215,7 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 		s.lse.ThreadDone(now, s.cur)
 		s.st.Threads++
 		s.cur = nil
-		return true, false, stats.Working
+		return true, false, stats.CauseIssue
 
 	case isa.MFCLSA:
 		s.dma.WriteChannel(mfc.ChLSA, r(ins.Ra))
@@ -1185,20 +1235,23 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 		adv()
 	case isa.MFCGET:
 		if !s.dma.Enqueue(now, mfc.Get) {
-			return false, false, stats.Prefetch
+			return false, false, stats.CauseMFCQueueFull
 		}
 		s.channelBusy(now)
 		adv()
 	case isa.MFCPUT:
 		if !s.dma.Enqueue(now, mfc.Put) {
-			return false, false, stats.Prefetch
+			return false, false, stats.CauseMFCQueueFull
 		}
 		s.channelBusy(now)
 		adv()
 	case isa.MFCSTAT:
-		// u.lat is latFor(UnitMFC) == the FX latency.
+		// u.lat is latFor(UnitMFC) == the FX latency. The result carries
+		// prodMFC so a dependent wait attributes as a DMA status poll
+		// (bucket-identical to the historical prodALU classification:
+		// CauseMFCWait folds into Working outside PF, Prefetch inside).
 		s.setReg(ins.Rd, int64(s.dma.Outstanding(s.regs[isa.RegTag])),
-			now+sim.Cycle(u.lat), prodALU)
+			now+sim.Cycle(u.lat), prodMFC)
 		adv()
 
 	default:
@@ -1208,7 +1261,7 @@ func (s *SPU) execute(now sim.Cycle, ins isa.Instruction, u *uop) (ok, sleep boo
 	if s.cur != nil && s.pc >= len(s.uops) {
 		s.skipEmptyBlocks(now)
 	}
-	return true, false, stats.Working
+	return true, false, stats.CauseIssue
 }
 
 // channelBusy stalls the pipeline for the MFC channel-interface cost

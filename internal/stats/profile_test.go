@@ -1,0 +1,72 @@
+package stats
+
+import "testing"
+
+// TestProfileNilSafe: a nil *Profile is a valid no-op sink, like a nil
+// trace.Recorder — components keep a plain field.
+func TestProfileNilSafe(t *testing.T) {
+	var p *Profile
+	p.Add(Loc{Template: 1}, CauseIssue, 5) // must not panic
+	p.Reset()
+	if p.Len() != 0 || p.Total() != 0 || p.Samples() != nil {
+		t.Fatal("nil profile reported samples")
+	}
+	if p.Causes() != (CauseBreakdown{}) {
+		t.Fatal("nil profile reported causes")
+	}
+	if !p.Equal(nil) || !p.Equal(NewProfile()) {
+		t.Fatal("nil and empty profiles must compare equal")
+	}
+}
+
+// TestProfileSamplesDeterministic: samples aggregate per location and
+// come back in (template, block, pc) order regardless of insertion
+// order — the property the pprof encoder's byte-determinism rests on.
+func TestProfileSamplesDeterministic(t *testing.T) {
+	p := NewProfile()
+	l0 := Loc{Template: 0, Block: 2, PC: 3}
+	l1 := Loc{Template: 1, Block: 0, PC: 0}
+	p.Add(l1, CauseIssue, 4)
+	p.Add(l0, CauseBlockingRead, 7)
+	p.Add(l0, CauseIssue, 1)
+	p.Add(IdleLoc, CauseIdle, 9)
+
+	s := p.Samples()
+	if len(s) != 3 {
+		t.Fatalf("got %d samples, want 3", len(s))
+	}
+	if s[0].Loc != IdleLoc || s[1].Loc != l0 || s[2].Loc != l1 {
+		t.Fatalf("samples out of order: %+v", s)
+	}
+	if s[1].Total != 8 || s[1].Causes[CauseBlockingRead] != 7 || s[1].Causes[CauseIssue] != 1 {
+		t.Fatalf("aggregation wrong: %+v", s[1])
+	}
+	if p.Total() != 21 {
+		t.Fatalf("Total = %d, want 21", p.Total())
+	}
+	if got := p.Causes(); got[CauseIssue] != 5 || got[CauseIdle] != 9 {
+		t.Fatalf("Causes fold wrong: %v", got)
+	}
+}
+
+// TestProfileEqualAndReset: Equal compares sample maps; Reset empties
+// the store in place (pool reuse).
+func TestProfileEqualAndReset(t *testing.T) {
+	a, b := NewProfile(), NewProfile()
+	a.Add(Loc{Template: 2, PC: 1}, CauseLSWait, 3)
+	if a.Equal(b) {
+		t.Fatal("distinct profiles compared equal")
+	}
+	b.Add(Loc{Template: 2, PC: 1}, CauseLSWait, 3)
+	if !a.Equal(b) {
+		t.Fatal("identical profiles compared unequal")
+	}
+	b.Add(Loc{Template: 2, PC: 1}, CauseIssue, 1)
+	if a.Equal(b) {
+		t.Fatal("profiles with different causes compared equal")
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatal("Reset left samples behind")
+	}
+}

@@ -94,11 +94,20 @@ func (c *InstrCounts) Merge(o InstrCounts) {
 // SPU aggregates one SPU's activity for a run.
 type SPU struct {
 	Breakdown   Breakdown
+	Causes      CauseBreakdown // fine-grained refinement of Breakdown (see Cause)
 	Instr       InstrCounts
 	IssuedSlots int64 // instructions issued (for pipeline usage: slots/2 per cycle)
 	Cycles      int64 // cycles the SPU was simulated (run length)
 	Threads     int64 // thread executions completed
 	PFBlocks    int64 // PF blocks executed
+}
+
+// Charge attributes n cycles to cause c, updating the bucket breakdown
+// and the cause refinement from the same charge so they can never
+// drift: Breakdown == Causes.Buckets() by construction.
+func (s *SPU) Charge(c Cause, n int64) {
+	s.Breakdown[c.Bucket()] += n
+	s.Causes[c] += n
 }
 
 // PipelineUsage returns the fraction of issue slots used (paper Fig. 9):
@@ -113,6 +122,7 @@ func (s SPU) PipelineUsage() float64 {
 // Merge adds o into s (for averaging across SPUs).
 func (s *SPU) Merge(o SPU) {
 	s.Breakdown.Merge(o.Breakdown)
+	s.Causes.Merge(o.Causes)
 	s.Instr.Merge(o.Instr)
 	s.IssuedSlots += o.IssuedSlots
 	s.Cycles += o.Cycles

@@ -67,6 +67,11 @@ type CheckOptions struct {
 	// final memory image are identical — the slow-path/fast-path
 	// differential mode.
 	DiffBurst bool
+	// Profile enables the guest cycle profiler (cell.Config.Profile) on
+	// every simulation. Profiling must not perturb results, so under
+	// DiffBurst the fast- and slow-path profiles are also required to be
+	// identical sample for sample — the profiler's own differential mode.
+	Profile bool
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -142,6 +147,7 @@ func runSim(sc Scenario, opt CheckOptions, prog *program.Program) (*cell.Result,
 	cfg.SPEs = sc.SPEs
 	cfg.Mem.Latency = opt.Latency
 	cfg.MaxCycles = opt.MaxCycles
+	cfg.Profile = opt.Profile
 	m, err := opt.Pool.Get(cfg, prog)
 	if err != nil {
 		return nil, nil, err
@@ -194,6 +200,8 @@ func diffResults(a, b *cell.Result) string {
 		return fmt.Sprintf("memory stats %+v vs %+v", a.Mem, b.Mem)
 	case a.Net != b.Net:
 		return fmt.Sprintf("network stats %+v vs %+v", a.Net, b.Net)
+	case !a.Prof.Equal(b.Prof):
+		return "guest cycle profiles differ"
 	}
 	return ""
 }

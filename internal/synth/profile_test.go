@@ -1,0 +1,74 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/stats"
+)
+
+// TestCorpusProfilerNonPerturbing is the profiler's corpus-wide
+// regression guard: every pinned seed's original AND prefetch-
+// transformed simulation runs with the guest cycle profiler on and off,
+// and every reported number — cycles, tokens, full stats — must be
+// byte-identical. The profiled runs also pass the full differential
+// check (oracle, memory image, invariants), so a profiler that
+// perturbed anything at all would fail twice over.
+func TestCorpusProfilerNonPerturbing(t *testing.T) {
+	plain := CheckOptions{Pool: cell.NewPool()}
+	prof := CheckOptions{Profile: true, Pool: cell.NewPool()}
+	for _, seed := range CorpusSeeds() {
+		base, err := CheckSeed(seed, plain)
+		if err != nil {
+			t.Fatalf("seed %d (profiler off): %v", seed, err)
+		}
+		got, err := CheckSeed(seed, prof)
+		if err != nil {
+			t.Errorf("seed %d (profiler on): %v", seed, err)
+			continue
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("seed %d: profiled report differs:\noff %+v\non  %+v", seed, base, got)
+		}
+	}
+}
+
+// TestCorpusBurstProfileDifferential runs the burst/single-step
+// differential with profiling enabled: beyond the usual byte-identical
+// stats, diffResults now also requires the two paths' guest profiles to
+// match sample for sample — bulk burst attribution (one Add per burst)
+// must equal per-cycle attribution exactly.
+func TestCorpusBurstProfileDifferential(t *testing.T) {
+	opt := CheckOptions{DiffBurst: true, Profile: true, Pool: cell.NewPool()}
+	for _, seed := range CorpusSeeds() {
+		if _, err := CheckSeed(seed, opt); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestProfileScenario sanity-checks the fresh-machine profiling entry
+// point: both variants produce samples, and each profile's cause totals
+// are internally consistent with its bucket fold.
+func TestProfileScenario(t *testing.T) {
+	p, err := ProfileScenario(FromSeed(CorpusSeeds()[0]), CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, prof := range map[string]*stats.Profile{"orig": p.Orig, "pf": p.PF} {
+		if prof.Len() == 0 {
+			t.Errorf("%s: no samples", name)
+		}
+		causes := prof.Causes()
+		if causes.Total() != prof.Total() {
+			t.Errorf("%s: cause total %d != profile total %d", name, causes.Total(), prof.Total())
+		}
+	}
+	if p.OrigProg == nil || p.PFProg == nil {
+		t.Fatal("programs missing from Profiles")
+	}
+	if p.Orig.Equal(p.PF) {
+		t.Error("orig and pf profiles identical — transform had no effect on attribution")
+	}
+}
