@@ -19,11 +19,15 @@
 //
 // The benchmark set is the six end-to-end BenchmarkRun* benchmarks of
 // the root package (bitcnt/mmul/zoom × original/prefetch) plus the
-// serial and batched sweep benchmarks of internal/harness, all with
-// -benchmem, so the JSON carries ns/op, B/op, allocs/op, the derived
-// simulated cycles per wall-clock second, per-core throughput (via the
-// custom cores metric) and a suite-wide aggregate
-// sim_cycles_per_sec_per_core.
+// serial, batched and checkpoint/cold phase-sweep benchmarks of
+// internal/harness, all with -benchmem, so the JSON carries ns/op,
+// B/op, allocs/op, the derived simulated cycles per wall-clock second,
+// per-core throughput (via the custom cores metric) and a suite-wide
+// aggregate sim_cycles_per_sec_per_core. The checkpoint pair
+// additionally reports checkpoint-hit-ratio and sim-cycles-saved: the
+// ns/op gap between BenchmarkHarnessCheckpointSweep and
+// BenchmarkHarnessColdPhaseSweep is the warm-up-sharing gain on a
+// warm-up-heavy sweep (see EXPERIMENTS.md "Checkpoint/fork").
 //
 // Caveat: ns/op is machine-dependent, so comparing against a baseline
 // recorded on different hardware partly measures the hardware. The
@@ -77,6 +81,15 @@ type Result struct {
 	// stall class DMA prefetching exists to remove, so the prefetch
 	// variants should report ~0.
 	BlockingReadCycles float64 `json:"blocking_read_cycles,omitempty"`
+	// CheckpointHitRatio is the custom checkpoint-hit-ratio metric:
+	// the share of fork requests served from a cached warm-up snapshot
+	// (reported by the checkpoint sweep benchmark pair; 0 for the cold
+	// baseline by construction).
+	CheckpointHitRatio float64 `json:"checkpoint_hit_ratio,omitempty"`
+	// SimCyclesSaved is the custom sim-cycles-saved metric: simulated
+	// cycles per iteration that snapshot restores skipped instead of
+	// re-executing.
+	SimCyclesSaved float64 `json:"sim_cycles_saved,omitempty"`
 }
 
 // Document is the BENCH_simthroughput.json layout.
@@ -100,7 +113,7 @@ type suite struct {
 
 var suites = []suite{
 	{pkg: ".", pattern: "^BenchmarkRun(Mmul|Zoom|Bitcnt)(Original|Prefetch)$"},
-	{pkg: "./internal/harness", pattern: "^BenchmarkHarness(Serial|Batched)Sweep$"},
+	{pkg: "./internal/harness", pattern: "^BenchmarkHarness(Serial|Batched|Checkpoint|ColdPhase)Sweep$"},
 }
 
 func main() {
@@ -153,6 +166,9 @@ func main() {
 		}
 		if r.StallPct > 0 {
 			line += fmt.Sprintf(" %5.1f stall-pct", r.StallPct)
+		}
+		if r.CheckpointHitRatio > 0 {
+			line += fmt.Sprintf(" %5.2f checkpoint-hit-ratio", r.CheckpointHitRatio)
 		}
 		fmt.Println(line)
 	}
@@ -237,6 +253,10 @@ func parseMetrics(r *Result, tail string) error {
 			r.StallPct = v
 		case "blocking-read-cycles":
 			r.BlockingReadCycles = v
+		case "checkpoint-hit-ratio":
+			r.CheckpointHitRatio = v
+		case "sim-cycles-saved":
+			r.SimCyclesSaved = v
 		}
 	}
 	return nil

@@ -47,6 +47,8 @@ func main() {
 		batchWidth = flag.Int("batch", 1, "jobs interleaved per worker (1 = run each job to completion)")
 		cacheSize  = flag.Int("cache", service.DefaultCacheSize, "max cached result documents")
 		queueDepth = flag.Int("queue-depth", 1024, "max queued jobs")
+		ckptDir    = flag.String("checkpoint-dir", "", "spill warm-up checkpoint snapshots to this directory so they survive restarts (empty = memory only)")
+		ckptBytes  = flag.Int64("checkpoint-disk-bytes", 0, "byte cap for -checkpoint-dir, oldest evicted first (0 = 1 GiB)")
 		logLevel   = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof for the dtad process on this address (e.g. localhost:6060; empty = off)")
 	)
@@ -60,11 +62,13 @@ func main() {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	svc := service.New(service.Config{
-		Workers:    *workers,
-		BatchWidth: *batchWidth,
-		CacheSize:  *cacheSize,
-		QueueDepth: *queueDepth,
-		Logger:     logger,
+		Workers:             *workers,
+		BatchWidth:          *batchWidth,
+		CacheSize:           *cacheSize,
+		QueueDepth:          *queueDepth,
+		CheckpointDir:       *ckptDir,
+		CheckpointDiskBytes: *ckptBytes,
+		Logger:              logger,
 	})
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 

@@ -67,6 +67,7 @@ func main() {
 		latency   = flag.Int("latency", 0, "main-memory latency in cycles (0 = paper 150)")
 		verbose   = flag.Bool("v", false, "log every seed, not just failures")
 		diffB     = flag.Bool("diffburst", false, "also run every simulation single-step and fail on any burst fast-path divergence")
+		diffCkpt  = flag.Bool("checkpoint", false, "also re-run every simulation through a snapshot/restore seam at its halfway boundary and fail on any divergence")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event timeline (with -seed: that scenario; with -shrink: the minimised reproducer)")
 		profPath  = flag.String("profile", "", "write guest cycle profiles (pprof format; <path>-orig/<path>-pf before the extension) of a scenario, scoped like -trace")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -94,7 +95,7 @@ func main() {
 	}
 	defer stopProf()
 
-	opt := synth.CheckOptions{Latency: *latency, DiffBurst: *diffB}
+	opt := synth.CheckOptions{Latency: *latency, DiffBurst: *diffB, DiffCheckpoint: *diffCkpt}
 	if *quick && opt.Latency == 0 {
 		opt.Latency = 60
 	}
@@ -160,8 +161,10 @@ func main() {
 			// Per-worker machine pool: every seed on this goroutine
 			// reuses built machines; pools never cross goroutines. The
 			// batched fibers of one worker interleave cooperatively —
-			// never simultaneously — so they share the pool safely.
-			pool := cell.NewPool()
+			// never simultaneously — so they share the pool safely. The
+			// free list is sized to the batch width: all fibers' machines
+			// retire together between rounds.
+			pool := cell.NewBatchPool(*batchW)
 			check := func(seed uint64, yield func()) {
 				wopt := opt
 				wopt.Pool = pool

@@ -1,0 +1,204 @@
+// Command dtasnap captures a machine snapshot mid-run into a file and
+// restores it in a different process — the cross-process half of the
+// checkpoint contract (the in-process half lives in the cell and
+// harness tests). CI's checkpoint-smoke step runs a capture, then a
+// restore in a fresh process, and fails unless the restored run's
+// final statistics are identical to the uninterrupted run recorded at
+// capture time.
+//
+//	dtasnap -capture -bench mmul -quick -o /tmp/mmul.ckpt
+//	dtasnap -restore /tmp/mmul.ckpt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+
+	"repro/internal/cell"
+	"repro/internal/prefetch"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// checkpointFile is the on-disk container: everything needed to
+// rebuild the identical machine (the snapshot blob alone is not
+// enough — restore recomputes the content-addressed key from the
+// rebuilt config and program and refuses a mismatch), plus the
+// uninterrupted run's outcome to verify against.
+type checkpointFile struct {
+	Bench    string    `json:"bench"`
+	SPEs     int       `json:"spes"`
+	Latency  int       `json:"latency"`
+	Quick    bool      `json:"quick"`
+	Seed     uint64    `json:"seed"`
+	Prefetch bool      `json:"prefetch"`
+	Div      sim.Cycle `json:"div"`
+	Expect   expected  `json:"expect"`
+	Snapshot []byte    `json:"snapshot"` // base64 via encoding/json
+}
+
+type expected struct {
+	Cycles sim.Cycle `json:"cycles"`
+	Tokens []int64   `json:"tokens"`
+	Agg    stats.SPU `json:"agg"`
+}
+
+func main() {
+	var (
+		capture = flag.Bool("capture", false, "run a benchmark, snapshot at -frac of its cycle count, write the checkpoint file")
+		restore = flag.String("restore", "", "restore a checkpoint file, finish the run, verify against the recorded outcome")
+		bench   = flag.String("bench", "mmul", "benchmark (with -capture)")
+		spes    = flag.Int("spes", 8, "SPE count")
+		latency = flag.Int("latency", 150, "main-memory latency in cycles")
+		quick   = flag.Bool("quick", false, "quick problem sizes (as in harness quick mode)")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		orig    = flag.Bool("orig", false, "run the original program instead of the prefetch-transformed one")
+		frac    = flag.Float64("frac", 0.5, "capture point as a fraction of the run's cycle count (with -capture)")
+		out     = flag.String("o", "checkpoint.json", "output path (with -capture)")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *capture == (*restore != ""):
+		err = fmt.Errorf("exactly one of -capture or -restore is required")
+	case *capture:
+		err = doCapture(checkpointFile{
+			Bench: *bench, SPEs: *spes, Latency: *latency, Quick: *quick,
+			Seed: *seed, Prefetch: !*orig,
+		}, *frac, *out)
+	default:
+		err = doRestore(*restore)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dtasnap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// build rebuilds the program and configuration a checkpoint file
+// describes. Both capture and restore go through it, so the machines
+// agree by construction — which the snapshot key then enforces.
+func build(cf checkpointFile) (*program.Program, cell.Config, error) {
+	w, ok := workloads.Get(cf.Bench)
+	if !ok {
+		return nil, cell.Config{}, fmt.Errorf("unknown benchmark %q", cf.Bench)
+	}
+	n := w.DefaultN
+	if cf.Quick {
+		if cf.Bench == "bitcnt" {
+			n = 400
+		} else {
+			n = 16
+		}
+	}
+	p := workloads.Params{N: n, Seed: cf.Seed}
+	if cf.Bench != "bitcnt" {
+		p.Workers = workloads.AutoWorkers(cf.SPEs, 32)
+	}
+	prog, err := w.Build(p)
+	if err != nil {
+		return nil, cell.Config{}, fmt.Errorf("build %s: %w", cf.Bench, err)
+	}
+	if cf.Prefetch {
+		if prog, err = prefetch.Transform(prog); err != nil {
+			return nil, cell.Config{}, fmt.Errorf("transform %s: %w", cf.Bench, err)
+		}
+	}
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = cf.SPEs
+	cfg.Mem.Latency = cf.Latency
+	return prog, cfg, nil
+}
+
+func doCapture(cf checkpointFile, frac float64, out string) error {
+	prog, cfg, err := build(cf)
+	if err != nil {
+		return err
+	}
+	cold, err := cell.New(cfg, prog)
+	if err != nil {
+		return err
+	}
+	res, err := cold.Run()
+	if err != nil {
+		return err
+	}
+	if res.CheckErr != nil {
+		return fmt.Errorf("functional check: %w", res.CheckErr)
+	}
+	cf.Expect = expected{Cycles: res.Cycles, Tokens: res.Tokens, Agg: res.Agg}
+
+	cf.Div = sim.Cycle(frac * float64(res.Cycles))
+	donor, err := cell.New(cfg, prog)
+	if err != nil {
+		return err
+	}
+	at, st, err := donor.RunTo(cf.Div)
+	if err != nil {
+		return err
+	}
+	if st == cell.StepDone {
+		return fmt.Errorf("run completed at cycle %d before the capture point %d", at, cf.Div)
+	}
+	key := cell.SnapshotKey(cfg, prog, cf.Div)
+	if cf.Snapshot, err = donor.EncodeSnapshot(key); err != nil {
+		return err
+	}
+	data, err := json.Marshal(cf)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dtasnap: captured %s at cycle %d of %d (%d snapshot bytes) to %s\n",
+		cf.Bench, at, res.Cycles, len(cf.Snapshot), out)
+	return nil
+}
+
+func doRestore(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	prog, cfg, err := build(cf)
+	if err != nil {
+		return err
+	}
+	m, err := cell.New(cfg, prog)
+	if err != nil {
+		return err
+	}
+	key := cell.SnapshotKey(cfg, prog, cf.Div)
+	if err := m.RestoreSnapshot(cf.Snapshot, key); err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	skipped := m.Now()
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	if res.CheckErr != nil {
+		return fmt.Errorf("functional check: %w", res.CheckErr)
+	}
+	switch {
+	case res.Cycles != cf.Expect.Cycles:
+		return fmt.Errorf("restored run took %d cycles, capture-time run took %d", res.Cycles, cf.Expect.Cycles)
+	case !reflect.DeepEqual(res.Tokens, cf.Expect.Tokens):
+		return fmt.Errorf("restored tokens %v, capture-time %v", res.Tokens, cf.Expect.Tokens)
+	case !reflect.DeepEqual(res.Agg, cf.Expect.Agg):
+		return fmt.Errorf("restored aggregate statistics differ from capture-time run")
+	}
+	fmt.Printf("dtasnap: restored %s at cycle %d, finished at %d — identical to the capture-time run\n",
+		cf.Bench, skipped, res.Cycles)
+	return nil
+}

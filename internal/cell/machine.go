@@ -42,6 +42,7 @@ type Machine struct {
 	faultErr error
 	drained  bool      // the one-shot post-completion DMA drain has run
 	endAt    sim.Cycle // cycle the run finished at (valid after StepDone)
+	knobbed  bool      // ApplyKnobs diverged a parameter from cfg (Reset clears)
 }
 
 // Layout describes where the machine placed things in each local store.
@@ -240,6 +241,16 @@ func (m *Machine) Reset(prog *program.Program) error {
 	m.faultErr = nil
 	m.drained = false
 	m.endAt = 0
+	if m.knobbed {
+		// ApplyKnobs diverged run-time parameters from the construction
+		// configuration; restore them so a pooled machine keyed by cfg
+		// behaves exactly like a freshly built one.
+		m.memory.SetLatency(m.cfg.Mem.Latency)
+		for _, spe := range m.spes {
+			spe.MFC.SetCmdLatency(m.cfg.MFC.CmdLatency)
+		}
+		m.knobbed = false
+	}
 	if m.cfg.Record {
 		m.rec.Reset()
 		m.tracer = m.rec.Threads

@@ -49,6 +49,18 @@ func NewPool() *Pool {
 	return NewPoolCap(DefaultPoolCap)
 }
 
+// NewBatchPool returns a pool sized for a batched worker interleaving
+// width fibers: all width machines of one configuration are in flight
+// together between yields and return to the pool at the same time, so
+// a free list smaller than the batch width would drop (and rebuild)
+// machines every round. Widths at or below the default cap keep it.
+func NewBatchPool(width int) *Pool {
+	if width < DefaultPoolCap {
+		width = DefaultPoolCap
+	}
+	return NewPoolCap(width)
+}
+
 // NewPoolCap returns an empty machine pool retaining at most perConfig
 // idle machines per configuration; perConfig <= 0 means unbounded.
 func NewPoolCap(perConfig int) *Pool {

@@ -1,0 +1,36 @@
+package cell
+
+import "testing"
+
+// TestNewBatchPoolWidth: a batch pool must retain a full batch's worth
+// of machines — all width fibers of one configuration return their
+// machines between rounds, and a smaller free list would drop and
+// rebuild them every round — while narrow batches keep the default cap.
+func TestNewBatchPoolWidth(t *testing.T) {
+	cfg := smallConfig(1)
+	p := progMinimal(t)
+
+	wide := NewBatchPool(2 * DefaultPoolCap)
+	for i := 0; i < 2*DefaultPoolCap+1; i++ {
+		m, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide.Put(m)
+	}
+	if got := wide.Idle(cfg); got != 2*DefaultPoolCap {
+		t.Errorf("wide batch pool retained %d machines, want %d", got, 2*DefaultPoolCap)
+	}
+
+	narrow := NewBatchPool(2)
+	for i := 0; i < DefaultPoolCap+1; i++ {
+		m, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		narrow.Put(m)
+	}
+	if got := narrow.Idle(cfg); got != DefaultPoolCap {
+		t.Errorf("narrow batch pool retained %d machines, want the default cap %d", got, DefaultPoolCap)
+	}
+}

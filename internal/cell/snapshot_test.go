@@ -1,0 +1,312 @@
+package cell
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/snap"
+)
+
+// TestSnapshotRestoreIdentity is the checkpoint contract: running to a
+// mid-run boundary, capturing, restoring into a fresh machine and
+// finishing must be indistinguishable — cycles, every statistic,
+// tokens, the guest profile and the final memory image — from an
+// uninterrupted run. The donor machine must also be unperturbed by the
+// capture.
+func TestSnapshotRestoreIdentity(t *testing.T) {
+	progs := []struct {
+		name string
+		p    *program.Program
+	}{
+		{"loop", progLoop(t, 100)},
+		{"memory", progMemory(t)},
+		{"dma", progManualDMA(t)},
+		{"forkjoin", progForkJoin(t, 6)},
+	}
+	for _, spes := range []int{1, 2} {
+		for _, tc := range progs {
+			cfg := smallConfig(spes)
+			cfg.Profile = true
+
+			coldM, err := New(cfg, tc.p)
+			if err != nil {
+				t.Fatalf("%s/%d New: %v", tc.name, spes, err)
+			}
+			want, err := coldM.Run()
+			if err != nil {
+				t.Fatalf("%s/%d cold Run: %v", tc.name, spes, err)
+			}
+
+			donor, err := New(cfg, tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			div := want.Cycles / 2
+			at, st, err := donor.RunTo(div)
+			if err != nil {
+				t.Fatalf("%s/%d RunTo(%d): %v", tc.name, spes, div, err)
+			}
+			if st == StepDone {
+				t.Fatalf("%s/%d completed at %d before divergence cycle %d", tc.name, spes, at, div)
+			}
+			if at < div {
+				t.Fatalf("%s/%d RunTo stopped at %d < %d", tc.name, spes, at, div)
+			}
+			key := SnapshotKey(cfg, tc.p, div)
+			blob, err := donor.EncodeSnapshot(key)
+			if err != nil {
+				t.Fatalf("%s/%d EncodeSnapshot: %v", tc.name, spes, err)
+			}
+
+			forked, err := New(cfg, tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := forked.RestoreSnapshot(blob, key); err != nil {
+				t.Fatalf("%s/%d RestoreSnapshot: %v", tc.name, spes, err)
+			}
+			if forked.Now() != at {
+				t.Fatalf("%s/%d restored clock %d, captured at %d", tc.name, spes, forked.Now(), at)
+			}
+			got, err := forked.Run()
+			if err != nil {
+				t.Fatalf("%s/%d forked Run: %v", tc.name, spes, err)
+			}
+			if got.CheckErr != nil {
+				t.Fatalf("%s/%d forked functional check: %v", tc.name, spes, got.CheckErr)
+			}
+			resultsIdentical(t, want, got, tc.name+"/forked")
+			if !want.Prof.Equal(got.Prof) {
+				t.Errorf("%s/%d: forked profile differs from cold profile", tc.name, spes)
+			}
+			if addr, equal := mem.FirstDiff(coldM.MemSparse(), forked.MemSparse()); !equal {
+				t.Errorf("%s/%d: forked memory image diverges at %#x", tc.name, spes, addr)
+			}
+
+			// The donor continues past the capture untouched.
+			donorRes, err := donor.Run()
+			if err != nil {
+				t.Fatalf("%s/%d donor Run: %v", tc.name, spes, err)
+			}
+			resultsIdentical(t, want, donorRes, tc.name+"/donor")
+		}
+	}
+}
+
+// TestSnapshotRoundTripStable re-captures a restored machine and
+// expects byte-identical payloads: the codec must be a fixed point, or
+// content-addressed caching would never converge.
+func TestSnapshotRoundTripStable(t *testing.T) {
+	cfg := smallConfig(2)
+	p := progForkJoin(t, 6)
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	div := want.Cycles / 2
+
+	donor, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := donor.RunTo(div); err != nil {
+		t.Fatal(err)
+	}
+	key := SnapshotKey(cfg, p, div)
+	blob1, err := donor.EncodeSnapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreSnapshot(blob1, key); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := restored.EncodeSnapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob1, blob2) {
+		t.Fatalf("re-captured snapshot differs: %d vs %d bytes", len(blob1), len(blob2))
+	}
+}
+
+// TestSnapshotVersionMismatch: a future-version envelope must be
+// rejected with a typed error, not misdecoded.
+func TestSnapshotVersionMismatch(t *testing.T) {
+	cfg := smallConfig(1)
+	p := progMinimal(t)
+	m, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.RunTo(10); err != nil {
+		t.Fatal(err)
+	}
+	var w snap.Writer
+	if err := m.Snapshot(&w); err != nil {
+		t.Fatal(err)
+	}
+	key := SnapshotKey(cfg, p, 10)
+	blob := snap.Encode(SnapshotVersion+1, key, w.Bytes())
+
+	fresh, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = fresh.RestoreSnapshot(blob, key)
+	var verr *snap.VersionError
+	if !errors.As(err, &verr) {
+		t.Fatalf("RestoreSnapshot = %v, want snap.VersionError", err)
+	}
+	if verr.Got != SnapshotVersion+1 || verr.Want != SnapshotVersion {
+		t.Fatalf("VersionError = %+v", verr)
+	}
+
+	// Wrong identity is rejected too.
+	good := snap.Encode(SnapshotVersion, key, w.Bytes())
+	if err := fresh.RestoreSnapshot(good, "not-the-key"); err == nil {
+		t.Fatal("RestoreSnapshot accepted a mismatched identity")
+	}
+}
+
+// TestSnapshotGatesUnserialisableState: recording and tracing buffers
+// are not serialised, so capture must refuse rather than silently drop
+// them.
+func TestSnapshotGatesUnserialisableState(t *testing.T) {
+	p := progMinimal(t)
+	for _, mod := range []func(*Config){
+		func(c *Config) { c.Record = true },
+		func(c *Config) { c.TraceCap = 128 },
+	} {
+		cfg := smallConfig(1)
+		mod(&cfg)
+		m, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w snap.Writer
+		if err := m.Snapshot(&w); err == nil {
+			t.Errorf("Snapshot succeeded with cfg %+v", cfg)
+		}
+	}
+}
+
+// TestKnobDivergence: restoring a checkpoint and flipping a knob must
+// equal running cold to the same boundary and flipping it there — the
+// fork-vs-cold identity the harness sweep relies on.
+func TestKnobDivergence(t *testing.T) {
+	cfg := smallConfig(2)
+	p := progMemory(t)
+	base, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	div := baseRes.Cycles / 2
+	knobs := Knobs{MemLatency: cfg.Mem.Latency * 2, MFCCmdLatency: cfg.MFC.CmdLatency + 10}
+
+	// Cold reference: simulate from cycle 0, apply knobs at the boundary.
+	cold, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, _, err := cold.RunTo(div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.ApplyKnobs(knobs)
+	want, err := cold.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forked: capture at the boundary, restore, apply the same knobs.
+	donor, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dAt, _, err := donor.RunTo(div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dAt != at {
+		t.Fatalf("boundary cycles differ: cold %d, donor %d", at, dAt)
+	}
+	key := SnapshotKey(cfg, p, div)
+	blob, err := donor.EncodeSnapshot(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := forked.RestoreSnapshot(blob, key); err != nil {
+		t.Fatal(err)
+	}
+	forked.ApplyKnobs(knobs)
+	if !forked.Knobbed() {
+		t.Fatal("ApplyKnobs did not mark the machine knobbed")
+	}
+	got, err := forked.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, want, got, "knob-divergence")
+	if addr, equal := mem.FirstDiff(cold.MemSparse(), forked.MemSparse()); !equal {
+		t.Errorf("knob-divergence: memory image diverges at %#x", addr)
+	}
+	if want.Cycles == baseRes.Cycles {
+		t.Logf("note: knobbed run matched base cycle count %d (knob had no effect on this program)", want.Cycles)
+	}
+
+	// Reset restores the construction-time parameters for pooled reuse.
+	if err := forked.Reset(p); err != nil {
+		t.Fatal(err)
+	}
+	if forked.Knobbed() {
+		t.Fatal("Reset left the machine marked knobbed")
+	}
+	again, err := forked.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, baseRes, again, "post-reset")
+}
+
+// TestSnapshotKeyDisambiguates: the key must separate programs,
+// configurations and divergence cycles.
+func TestSnapshotKeyDisambiguates(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg2 := cfg
+	cfg2.Mem.Latency++
+	pa, pb := progLoop(t, 100), progLoop(t, 101)
+	base := SnapshotKey(cfg, pa, 1000)
+	for name, other := range map[string]string{
+		"config":    SnapshotKey(cfg2, pa, 1000),
+		"program":   SnapshotKey(cfg, pb, 1000),
+		"diverge":   SnapshotKey(cfg, pa, 2000),
+		"identical": SnapshotKey(cfg, progLoop(t, 100), 1000),
+	} {
+		same := other == base
+		if name == "identical" && !same {
+			t.Errorf("identical inputs produced different keys")
+		}
+		if name != "identical" && same {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+}

@@ -22,6 +22,7 @@ type BatchState struct {
 	pool  *cell.Pool
 	cache map[runKey]*cell.Result
 	progs map[progKey]*program.Program
+	ckpts *CheckpointCache
 	// inflight marks run-cache keys some fiber is computing right now,
 	// so a sibling wanting the same simulation waits instead of
 	// duplicating it (see Context.memoRun).
@@ -31,16 +32,20 @@ type BatchState struct {
 
 // NewBatchState prepares shared state for one batched worker. slice is
 // the per-round cycle budget each fiber's simulation advances between
-// yields; slice <= 0 selects cell.DefaultSlice.
-func NewBatchState(opt Options, slice sim.Cycle) *BatchState {
+// yields; slice <= 0 selects cell.DefaultSlice. width is the number of
+// fibers that will share the state — the machine pool's free list is
+// sized to it, since all width machines of one configuration retire
+// together between rounds (width <= 1 keeps the default cap).
+func NewBatchState(opt Options, slice sim.Cycle, width int) *BatchState {
 	if slice <= 0 {
 		slice = cell.DefaultSlice
 	}
 	return &BatchState{
 		opt:      opt.WithDefaults(),
-		pool:     cell.NewPool(),
+		pool:     cell.NewBatchPool(width),
 		cache:    make(map[runKey]*cell.Result),
 		progs:    make(map[progKey]*program.Program),
+		ckpts:    NewCheckpointCache(0),
 		inflight: make(map[runKey]bool),
 		slice:    slice,
 	}
@@ -55,6 +60,7 @@ func (s *BatchState) Context(yield func()) *Context {
 		cache:     s.cache,
 		progs:     s.progs,
 		pool:      s.pool,
+		ckpts:     s.ckpts,
 		inflight:  s.inflight,
 		slice:     s.slice,
 		yield:     yield,
@@ -118,7 +124,7 @@ func Batched(opt Options, exps []*Experiment, workers, width int) []RunResult {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			state := NewBatchState(opt, 0)
+			state := NewBatchState(opt, 0, width)
 			batch.Run(width, batch.FeedChan(idxCh, func(i int) batch.Task {
 				return func(yield func()) {
 					results[i] = RunOn(state.Context(yield), exps[i])

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// resultView is the comparable projection of a cell.Result: everything
+// except the Trace/Rec/Prof attachments, which are pointers into
+// machine-owned buffers.
+type resultView struct {
+	Cycles interface{}
+	Tokens interface{}
+	Agg    interface{}
+	SPUs   interface{}
+	LSEs   interface{}
+	MFCs   interface{}
+	DSEs   interface{}
+	Mem    interface{}
+	Net    interface{}
+}
+
+func view(r *cell.Result) resultView {
+	return resultView{r.Cycles, r.Tokens, r.Agg, r.SPUs, r.LSEs, r.MFCs, r.DSEs, r.Mem, r.Net}
+}
+
+// TestCheckpointForkMatchesCold is the harness-level fork contract:
+// a phase run served through the checkpoint cache must be identical —
+// cycles and every statistic — to the same phase run simulated cold
+// from cycle 0 (NoCheckpoint). Every benchmark, two knob kinds.
+func TestCheckpointForkMatchesCold(t *testing.T) {
+	warm := NewContext(Options{Quick: true})
+	cold := NewContext(Options{Quick: true})
+	cold.NoCheckpoint = true
+	for _, bench := range benchmarks {
+		base, err := warm.run(bench, warm.Opt.SPEs, true, defaultVariant())
+		if err != nil {
+			t.Fatalf("%s base: %v", bench, err)
+		}
+		div := base.Cycles / 2
+		for _, knobs := range []cell.Knobs{
+			{MemLatency: warm.Opt.Latency * 2},
+			{MFCCmdLatency: 40},
+			{MemLatency: warm.Opt.Latency * 3, MFCCmdLatency: 25},
+		} {
+			name := fmt.Sprintf("%s knobs=%+v", bench, knobs)
+			hits := CheckpointHits.Load()
+			got, err := warm.runPhase(bench, warm.Opt.SPEs, knobs, div)
+			if err != nil {
+				t.Fatalf("%s warm: %v", name, err)
+			}
+			want, err := cold.runPhase(bench, cold.Opt.SPEs, knobs, div)
+			if err != nil {
+				t.Fatalf("%s cold: %v", name, err)
+			}
+			if !reflect.DeepEqual(view(got), view(want)) {
+				t.Errorf("%s: forked result differs from cold result (cycles %d vs %d)",
+					name, got.Cycles, want.Cycles)
+			}
+			if knobs.MemLatency == warm.Opt.Latency*2 && knobs.MFCCmdLatency == 0 {
+				// First phase run of this benchmark: the prefix is captured.
+				continue
+			}
+			if CheckpointHits.Load() == hits {
+				t.Errorf("%s: expected a checkpoint hit for the shared prefix", name)
+			}
+		}
+	}
+	if warm.ckpts.Len() == 0 {
+		t.Error("warm context cached no checkpoints")
+	}
+	if cold.ckpts.Len() != 0 {
+		t.Errorf("NoCheckpoint context cached %d checkpoints", cold.ckpts.Len())
+	}
+}
+
+// TestCheckpointForkEarlyCompletion: a divergence cycle past the end
+// of the run must finish un-knobbed and equal the plain baseline —
+// the same semantics as a cold run whose phase change never arrives.
+func TestCheckpointForkEarlyCompletion(t *testing.T) {
+	ctx := NewContext(Options{Quick: true})
+	base, err := ctx.run("bitcnt", ctx.Opt.SPEs, true, defaultVariant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.runPhase("bitcnt", ctx.Opt.SPEs,
+		cell.Knobs{MemLatency: ctx.Opt.Latency * 4}, base.Cycles*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(view(got), view(base)) {
+		t.Errorf("post-completion divergence changed the result: %d vs %d cycles",
+			got.Cycles, base.Cycles)
+	}
+}
+
+// TestCheckpointCacheLRU exercises the byte-cap eviction order: the
+// least recently used entry goes first, a Get refreshes recency, and
+// the entry just inserted is never evicted even when oversized.
+func TestCheckpointCacheLRU(t *testing.T) {
+	cc := NewCheckpointCache(100)
+	blob := func(n int) []byte { return make([]byte, n) }
+	cc.Put("a", blob(40))
+	cc.Put("b", blob(40))
+	if _, ok := cc.Get("a"); !ok { // refresh a: b is now coldest
+		t.Fatal("a missing")
+	}
+	cc.Put("c", blob(40)) // 120 > 100: evicts b
+	if _, ok := cc.Get("b"); ok {
+		t.Error("b survived eviction despite being coldest")
+	}
+	if _, ok := cc.Get("a"); !ok {
+		t.Error("a was evicted despite a refreshing Get")
+	}
+	if cc.Len() != 2 || cc.Bytes() != 80 {
+		t.Errorf("cache = %d entries / %d bytes, want 2 / 80", cc.Len(), cc.Bytes())
+	}
+
+	cc.Put("huge", blob(500)) // oversized: evicts everything else, stays itself
+	if _, ok := cc.Get("huge"); !ok {
+		t.Error("oversized entry was evicted on insert")
+	}
+	if cc.Len() != 1 {
+		t.Errorf("cache holds %d entries after oversized insert, want 1", cc.Len())
+	}
+
+	before := cc.Bytes()
+	cc.Drop("huge")
+	if cc.Len() != 0 || cc.Bytes() != 0 {
+		t.Errorf("Drop left %d entries / %d bytes (had %d)", cc.Len(), cc.Bytes(), before)
+	}
+}
+
+// memSpill is a test spill: a plain map standing in for dtad's disk
+// directory.
+type memSpill struct {
+	m      map[string][]byte
+	stores int
+}
+
+func (s *memSpill) Load(key string) ([]byte, bool) { b, ok := s.m[key]; return b, ok }
+func (s *memSpill) Store(key string, blob []byte) {
+	s.m[key] = append([]byte(nil), blob...)
+	s.stores++
+}
+
+// TestCheckpointSpill: Put writes through, and a fresh cache over the
+// same spill — a restarted process — serves the snapshot as a hit.
+func TestCheckpointSpill(t *testing.T) {
+	spill := &memSpill{m: make(map[string][]byte)}
+	cc := NewCheckpointCache(1 << 20)
+	cc.SetSpill(spill)
+	cc.Put("k", []byte("snapshot"))
+	if spill.stores != 1 {
+		t.Fatalf("Put wrote through %d times, want 1", spill.stores)
+	}
+
+	fresh := NewCheckpointCache(1 << 20)
+	fresh.SetSpill(spill)
+	hits := CheckpointHits.Load()
+	blob, ok := fresh.Get("k")
+	if !ok || string(blob) != "snapshot" {
+		t.Fatalf("Get after restart = %q, %v", blob, ok)
+	}
+	if CheckpointHits.Load() != hits+1 {
+		t.Error("spill-served Get did not count as a hit")
+	}
+	if fresh.Len() != 1 {
+		t.Error("spill-served Get did not promote the entry into memory")
+	}
+}

@@ -106,7 +106,7 @@ var order = []string{
 	"fig6", "fig7", "fig8", "fig9", "lat1",
 	"ablation-vfp", "ablation-dmalat", "ablation-buses",
 	"ablation-memlat", "ablation-nodes", "ablation-granularity",
-	"ablation-writeback",
+	"ablation-writeback", "phase-memlat",
 }
 
 // All returns the registered experiments in paper presentation order.
@@ -156,9 +156,18 @@ type Context struct {
 	// — the slow path the burst differential tests compare against.
 	// Results are identical either way; only wall-clock time differs.
 	SingleStep bool
-	cache      map[runKey]*cell.Result
-	progs      map[progKey]*program.Program
-	pool       *cell.Pool
+	// NoCheckpoint disables checkpoint sharing on the fork path: every
+	// phase run simulates its warm-up prefix from cycle 0. Results are
+	// identical either way (the byte-identity the snapshot tests
+	// enforce); the cold baseline exists for benchmarking the sharing.
+	NoCheckpoint bool
+	cache        map[runKey]*cell.Result
+	progs        map[progKey]*program.Program
+	pool         *cell.Pool
+	// ckpts shares warm-up-prefix snapshots across fork calls (see
+	// Context.fork). Shared by Sub contexts and batch fibers exactly
+	// like the run cache.
+	ckpts *CheckpointCache
 	// Batched execution (see Batched): yield parks this context's fiber
 	// between bounded simulation slices, slice is the per-round cycle
 	// budget, and inflight marks cache keys a sibling fiber is currently
@@ -227,12 +236,23 @@ func NewContextWithPool(opt Options, pool *cell.Pool) *Context {
 		cache:     make(map[runKey]*cell.Result),
 		progs:     make(map[progKey]*program.Program),
 		pool:      pool,
+		ckpts:     NewCheckpointCache(0),
 		inflight:  make(map[runKey]bool),
 		simCycles: new(int64),
 		recs:      &recState{},
 		profs:     &profState{},
 	}
 }
+
+// SetCheckpointCache replaces this context's checkpoint cache — used
+// by long-lived workers (the dtad service) to share one cache, often
+// spill-backed, across the per-job contexts they build. Must be called
+// before the context runs anything; nil disables checkpoint sharing.
+func (c *Context) SetCheckpointCache(cc *CheckpointCache) { c.ckpts = cc }
+
+// CheckpointCacheState exposes the context's checkpoint cache (for
+// tests and stats).
+func (c *Context) CheckpointCacheState() *CheckpointCache { return c.ckpts }
 
 // EnableRecording makes every simulation this context computes record a
 // full component timeline (SPU/DMA/NoC/thread spans; see cell.Config
@@ -284,17 +304,19 @@ func (c *Context) Profiled() []ProfiledRun {
 // program cache is keyed only by benchmark, SPE count and variant.
 func (c *Context) Sub(opt Options) *Context {
 	return &Context{
-		Opt:        opt.WithDefaults(),
-		SingleStep: c.SingleStep,
-		cache:      c.cache,
-		progs:      c.progs,
-		pool:       c.pool,
-		yield:      c.yield,
-		slice:      c.slice,
-		inflight:   c.inflight,
-		simCycles:  c.simCycles,
-		recs:       c.recs,
-		profs:      c.profs,
+		Opt:          opt.WithDefaults(),
+		SingleStep:   c.SingleStep,
+		NoCheckpoint: c.NoCheckpoint,
+		cache:        c.cache,
+		progs:        c.progs,
+		pool:         c.pool,
+		ckpts:        c.ckpts,
+		yield:        c.yield,
+		slice:        c.slice,
+		inflight:     c.inflight,
+		simCycles:    c.simCycles,
+		recs:         c.recs,
+		profs:        c.profs,
 	}
 }
 
@@ -309,6 +331,12 @@ type runKey struct {
 	vfp      bool
 	frames   int
 	chunked  bool
+	// Phase-change runs (Context.runPhase): the knob values applied
+	// from phaseDiv onward. All zero for ordinary runs, so existing
+	// keys are unchanged.
+	phaseMemLat int
+	phaseMFCLat int
+	phaseDiv    int64
 }
 
 type progKey struct {
@@ -436,7 +464,7 @@ func addCauseCycles(res *cell.Result) {
 // run executes (with caching) one benchmark configuration.
 func (c *Context) run(bench string, spes int, prefetchOn bool, v variant) (*cell.Result, error) {
 	chunked := true
-	key := runKey{bench, spes, c.Opt.Latency, prefetchOn, v.nodes, v.dmaLat, v.buses, v.vfp, v.frames, chunked}
+	key := runKey{bench, spes, c.Opt.Latency, prefetchOn, v.nodes, v.dmaLat, v.buses, v.vfp, v.frames, chunked, 0, 0, 0}
 	return c.memoRun(key, func() (*cell.Result, error) {
 		prog, err := c.buildProgram(bench, spes, prefetchOn, chunked)
 		if err != nil {
@@ -456,7 +484,7 @@ func (c *Context) run(bench string, spes int, prefetchOn bool, v variant) (*cell
 
 // runUnchunked is run() with single-command region fetches (A6).
 func (c *Context) runUnchunked(bench string, spes int, prefetchOn bool) (*cell.Result, error) {
-	key := runKey{bench, spes, c.Opt.Latency, prefetchOn, 0, -1, 0, false, 0, false}
+	key := runKey{bench, spes, c.Opt.Latency, prefetchOn, 0, -1, 0, false, 0, false, 0, 0, 0}
 	return c.memoRun(key, func() (*cell.Result, error) {
 		prog, err := c.buildProgram(bench, spes, prefetchOn, false)
 		if err != nil {
@@ -470,7 +498,11 @@ func (c *Context) runUnchunked(bench string, spes int, prefetchOn bool) (*cell.R
 	})
 }
 
-func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Result, error) {
+// machineConfig derives the machine configuration for one run from
+// the context options and variant knobs — shared by execute and the
+// fork path so checkpoint keys agree with what execute would build
+// (recording/profiling flags are layered on by execute alone).
+func (c *Context) machineConfig(spes int, v variant) cell.Config {
 	cfg := cell.DefaultConfig()
 	cfg.SPEs = spes
 	cfg.Mem.Latency = c.Opt.Latency
@@ -498,6 +530,11 @@ func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Res
 	if c.SingleStep {
 		cfg.SPU.BurstMax = -1
 	}
+	return cfg
+}
+
+func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Result, error) {
+	cfg := c.machineConfig(spes, v)
 	recording := c.recs != nil && c.recs.on
 	if recording {
 		cfg.Record = true

@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/snap"
+)
+
+// Snapshot serialises the sparse image: allocated, non-zero pages in
+// ascending page order. All-zero pages are skipped — an unallocated
+// page reads as zero, so dropping them loses nothing and keeps warm-up
+// snapshots proportional to the bytes actually written.
+func (s *Sparse) Snapshot(w *snap.Writer) {
+	w.I64(s.size)
+	idxs := make([]int64, 0, len(s.pages))
+	for i, p := range s.pages {
+		if !bytes.Equal(p, zeroPage) {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	w.Int(len(idxs))
+	for _, i := range idxs {
+		w.I64(i)
+		w.WriteBytes(s.pages[i])
+	}
+}
+
+// Restore rewinds the store to a snapshot.
+func (s *Sparse) Restore(r *snap.Reader) error {
+	size := r.I64()
+	if r.Err() == nil && size != s.size {
+		return fmt.Errorf("mem: snapshot store size %d, this store %d", size, s.size)
+	}
+	s.Reset()
+	n := r.Int()
+	for k := 0; k < n; k++ {
+		idx := r.I64()
+		data := r.ReadBytes()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if len(data) != pageSize {
+			return fmt.Errorf("mem: snapshot page %d has %d bytes", idx, len(data))
+		}
+		copy(s.newPage(idx), data)
+	}
+	return r.Err()
+}
+
+// SetLatency changes the access latency at run time — the
+// checkpoint/fork harness's divergence knob. The latency is read per
+// request in service(), so a change between engine passes applies to
+// every request serviced afterwards, identically whether the prefix
+// was simulated or restored.
+func (m *Memory) SetLatency(cycles int) {
+	if cycles < 1 {
+		cycles = 1
+	}
+	m.cfg.Latency = cycles
+}
+
+// Latency returns the current access latency (for tests).
+func (m *Memory) Latency() int { return m.cfg.Latency }
+
+// Snapshot serialises the memory component's mutable state: the
+// functional store, queued requests, port bookings and pending
+// responses. Wiring (endpoint id, network, fault hook) is not state.
+func (m *Memory) Snapshot(w *snap.Writer) {
+	m.store.Snapshot(w)
+	w.Int(len(m.inbox))
+	for _, msg := range m.inbox {
+		noc.SnapshotMessage(w, msg)
+	}
+	w.Int(len(m.portFree))
+	for _, f := range m.portFree {
+		w.I64(int64(f))
+	}
+	// Response heap in slab order; restore re-pushes (pop order is the
+	// (at, seq) total order, so internal layout is behaviour-invisible).
+	w.Int(len(m.out))
+	for _, ev := range m.out {
+		w.I64(int64(ev.at))
+		w.I64(ev.seq)
+		noc.SnapshotMessage(w, ev.msg)
+	}
+	w.I64(m.seq)
+	w.I64(m.stats.ScalarReads)
+	w.I64(m.stats.ScalarWrites)
+	w.I64(m.stats.BlockReads)
+	w.I64(m.stats.BlockWrites)
+	w.I64(m.stats.BytesRead)
+	w.I64(m.stats.BytesWritten)
+	w.I64(m.stats.PortBusy)
+}
+
+// Restore rewinds the memory component to a snapshot taken on an
+// identically configured memory.
+func (m *Memory) Restore(r *snap.Reader) error {
+	if err := m.store.Restore(r); err != nil {
+		return err
+	}
+	m.inbox = m.inbox[:0]
+	ni := r.Int()
+	for i := 0; i < ni; i++ {
+		m.inbox = append(m.inbox, noc.RestoreMessage(r))
+	}
+	np := r.Int()
+	if r.Err() == nil && np != len(m.portFree) {
+		return fmt.Errorf("mem: snapshot has %d ports, memory has %d", np, len(m.portFree))
+	}
+	for i := 0; i < np; i++ {
+		m.portFree[i] = sim.Cycle(r.I64())
+	}
+	for i := range m.out {
+		m.out[i] = outEvent{}
+	}
+	m.out = m.out[:0]
+	no := r.Int()
+	for i := 0; i < no; i++ {
+		at := sim.Cycle(r.I64())
+		seq := r.I64()
+		msg := noc.RestoreMessage(r)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		sim.HeapPush(&m.out, outEvent{at: at, msg: msg, seq: seq})
+	}
+	m.seq = r.I64()
+	m.stats.ScalarReads = r.I64()
+	m.stats.ScalarWrites = r.I64()
+	m.stats.BlockReads = r.I64()
+	m.stats.BlockWrites = r.I64()
+	m.stats.BytesRead = r.I64()
+	m.stats.BytesWritten = r.I64()
+	m.stats.PortBusy = r.I64()
+	return r.Err()
+}

@@ -1,0 +1,157 @@
+package mfc
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/snap"
+)
+
+// SetCmdLatency changes the per-command processing latency at run time —
+// the checkpoint/fork harness's divergence knob. The latency is read
+// when the queue head starts processing (Tick), so a change between
+// engine passes applies to every command launched afterwards,
+// identically whether the prefix was simulated or restored.
+func (e *Engine) SetCmdLatency(cycles int) {
+	if cycles < 0 {
+		cycles = 0
+	}
+	e.cfg.CmdLatency = cycles
+}
+
+// CmdLatency returns the current command latency (for tests).
+func (e *Engine) CmdLatency() int { return e.cfg.CmdLatency }
+
+// Snapshot serialises the MFC's mutable state: staging channels, the
+// command slab with its free-list and queue, tag groups, pending timer
+// events and statistics. Wiring (endpoints, callbacks, recorder) is
+// construction-time and not serialised.
+func (e *Engine) Snapshot(w *snap.Writer) {
+	w.I64(e.chLSA)
+	w.I64(e.chEA)
+	w.I64(e.chSize)
+	w.I64(e.chTag)
+	w.Int(len(e.cmds))
+	for i := range e.cmds {
+		c := &e.cmds[i]
+		w.I64(c.id)
+		w.I64(c.lsa)
+		w.I64(c.ea)
+		w.I64(c.size)
+		w.I64(c.tag)
+		w.U8(uint8(c.dir))
+		w.Bool(c.inflight)
+		w.I64(c.remaining)
+		w.I64(int64(c.issuedAt))
+		w.I64(int64(c.launchedAt))
+	}
+	w.Int(len(e.free))
+	for _, s := range e.free {
+		w.I64(int64(s))
+	}
+	w.Int(len(e.queue))
+	for _, s := range e.queue {
+		w.I64(int64(s))
+	}
+	w.Bool(e.headBusy)
+	w.Int(e.inflightN)
+	w.Int(len(e.tags))
+	for _, t := range e.tags {
+		w.I64(t.tag)
+		w.I64(int64(t.n))
+	}
+	// Timer heap in slab order; restore re-pushes (pop order is the
+	// (at, seq) total order, so internal layout is behaviour-invisible).
+	w.Int(len(e.events))
+	for _, ev := range e.events {
+		w.I64(int64(ev.at))
+		w.I64(ev.seq)
+		w.U8(uint8(ev.kind))
+		w.I64(int64(ev.slot))
+		noc.SnapshotMessage(w, ev.msg)
+	}
+	w.I64(e.nextGen)
+	w.I64(e.seq)
+	w.I64(e.stats.Gets)
+	w.I64(e.stats.Puts)
+	w.I64(e.stats.BytesIn)
+	w.I64(e.stats.BytesOut)
+	w.I64(e.stats.QueueFull)
+	w.I64(e.stats.TagWaits)
+	w.Int(e.stats.MaxQueueDepth)
+}
+
+// Restore rewinds the MFC to a snapshot taken on an identically
+// configured MFC.
+func (e *Engine) Restore(r *snap.Reader) error {
+	e.chLSA = r.I64()
+	e.chEA = r.I64()
+	e.chSize = r.I64()
+	e.chTag = r.I64()
+	e.cmds = e.cmds[:0]
+	nc := r.Int()
+	for i := 0; i < nc; i++ {
+		var c command
+		c.id = r.I64()
+		c.lsa = r.I64()
+		c.ea = r.I64()
+		c.size = r.I64()
+		c.tag = r.I64()
+		c.dir = Direction(r.U8())
+		c.inflight = r.Bool()
+		c.remaining = r.I64()
+		c.issuedAt = sim.Cycle(r.I64())
+		c.launchedAt = sim.Cycle(r.I64())
+		e.cmds = append(e.cmds, c)
+	}
+	e.free = e.free[:0]
+	nf := r.Int()
+	for i := 0; i < nf; i++ {
+		e.free = append(e.free, int32(r.I64()))
+	}
+	e.queue = e.queue[:0]
+	nq := r.Int()
+	for i := 0; i < nq; i++ {
+		e.queue = append(e.queue, int32(r.I64()))
+	}
+	e.headBusy = r.Bool()
+	e.inflightN = r.Int()
+	e.tags = e.tags[:0]
+	nt := r.Int()
+	for i := 0; i < nt; i++ {
+		e.tags = append(e.tags, tagEntry{tag: r.I64(), n: int32(r.I64())})
+	}
+	for i := range e.events {
+		e.events[i] = timedEvent{}
+	}
+	e.events = e.events[:0]
+	ne := r.Int()
+	for i := 0; i < ne; i++ {
+		var ev timedEvent
+		ev.at = sim.Cycle(r.I64())
+		ev.seq = r.I64()
+		ev.kind = evKind(r.U8())
+		ev.slot = int32(r.I64())
+		ev.msg = noc.RestoreMessage(r)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		sim.HeapPush(&e.events, ev)
+	}
+	e.nextGen = r.I64()
+	e.seq = r.I64()
+	e.stats.Gets = r.I64()
+	e.stats.Puts = r.I64()
+	e.stats.BytesIn = r.I64()
+	e.stats.BytesOut = r.I64()
+	e.stats.QueueFull = r.I64()
+	e.stats.TagWaits = r.I64()
+	e.stats.MaxQueueDepth = r.Int()
+	for _, s := range e.queue {
+		if int(s) >= len(e.cmds) {
+			return fmt.Errorf("mfc%d: snapshot queue references slot %d beyond slab of %d", e.id, s, len(e.cmds))
+		}
+	}
+	return r.Err()
+}

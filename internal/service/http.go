@@ -66,13 +66,28 @@ type StatsDoc struct {
 	// StallCycles breaks sim_cycles down by stall cause (slug -> cycles;
 	// process-wide, same accounting as sim_cycles). StallPct is the share
 	// of those cycles in stall buckets (MemStall/LSStall/LSEStall).
-	StallCycles   map[string]int64 `json:"stall_cycles"`
-	StallPct      float64          `json:"stall_pct"`
-	Workers       int              `json:"workers"`
-	BatchWidth    int              `json:"batch_width"`
-	QueueLen      int              `json:"queue_len"`
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Jobs          map[string]int   `json:"jobs"`
+	StallCycles map[string]int64 `json:"stall_cycles"`
+	StallPct    float64          `json:"stall_pct"`
+	// Checkpoint reports the warm-up-prefix snapshot caches
+	// (process-wide, same scope as the dtad_checkpoint_* metrics).
+	Checkpoint    CheckpointStats `json:"checkpoint"`
+	Workers       int             `json:"workers"`
+	BatchWidth    int             `json:"batch_width"`
+	QueueLen      int             `json:"queue_len"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Jobs          map[string]int  `json:"jobs"`
+}
+
+// CheckpointStats is the checkpoint-cache section of StatsDoc.
+type CheckpointStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Bytes       int64 `json:"bytes"`
+	CyclesSaved int64 `json:"cycles_saved"`
+	// DiskBytes is the on-disk spill's size; 0 when no spill is
+	// configured.
+	DiskBytes int64 `json:"disk_bytes"`
 }
 
 // runRequest is the POST /v1/runs body.
@@ -242,6 +257,16 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	for c := stats.Cause(0); c < stats.NumCauses; c++ {
 		stallCycles[c.Slug()] = causes[c]
 	}
+	ckpt := CheckpointStats{
+		Hits:        harness.CheckpointHits.Load(),
+		Misses:      harness.CheckpointMisses.Load(),
+		Evictions:   harness.CheckpointEvictions.Load(),
+		Bytes:       harness.CheckpointBytes.Load(),
+		CyclesSaved: harness.CheckpointCyclesSaved.Load(),
+	}
+	if s.spill != nil {
+		ckpt.DiskBytes = s.spill.Bytes()
+	}
 	writeJSON(w, http.StatusOK, StatsDoc{
 		Engine:        EngineVersion,
 		Cache:         cs,
@@ -250,6 +275,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		SimCycles:     s.SimCycles(),
 		StallCycles:   stallCycles,
 		StallPct:      causes.Buckets().StallPct(),
+		Checkpoint:    ckpt,
 		Workers:       s.Workers(),
 		BatchWidth:    s.BatchWidth(),
 		QueueLen:      s.QueueLen(),

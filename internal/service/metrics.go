@@ -90,6 +90,27 @@ func (s *Service) buildRegistry() {
 		"Run-cache hits that waited on a sibling fiber computing the same key.",
 		func() float64 { return float64(harness.InflightDedupHits.Load()) })
 
+	reg.CounterFunc("dtad_checkpoint_hits_total",
+		"Forked runs seeded from a cached warm-up snapshot (memory or disk spill).",
+		func() float64 { return float64(harness.CheckpointHits.Load()) })
+	reg.CounterFunc("dtad_checkpoint_misses_total",
+		"Fork requests that simulated their warm-up prefix cold.",
+		func() float64 { return float64(harness.CheckpointMisses.Load()) })
+	reg.CounterFunc("dtad_checkpoint_evictions_total",
+		"Snapshots dropped from in-memory checkpoint caches under the byte cap.",
+		func() float64 { return float64(harness.CheckpointEvictions.Load()) })
+	reg.GaugeFunc("dtad_checkpoint_bytes",
+		"Snapshot bytes resident in in-memory checkpoint caches.",
+		func() float64 { return float64(harness.CheckpointBytes.Load()) })
+	reg.CounterFunc("dtad_checkpoint_cycles_saved_total",
+		"Simulated cycles skipped by restoring snapshots instead of re-running warm-up prefixes.",
+		func() float64 { return float64(harness.CheckpointCyclesSaved.Load()) })
+	if s.spill != nil {
+		reg.GaugeFunc("dtad_checkpoint_disk_bytes",
+			"Snapshot bytes in the on-disk checkpoint spill directory.",
+			func() float64 { return float64(s.spill.Bytes()) })
+	}
+
 	for c := stats.Cause(0); c < stats.NumCauses; c++ {
 		c := c
 		reg.CounterFunc("dtad_sim_stall_cycles_total",

@@ -76,6 +76,15 @@ type Config struct {
 	// the run-to-completion default (<= 1).
 	BatchWidth int
 
+	// CheckpointDir, when set, spills harness checkpoint snapshots
+	// (shared warm-up prefixes; see harness.CheckpointCache) to disk so
+	// they survive restarts. CheckpointDiskBytes bounds the directory,
+	// oldest-by-mtime evicted first (<= 0 selects
+	// DefaultCheckpointDiskBytes). Empty disables the spill; the
+	// in-memory checkpoint caches work either way.
+	CheckpointDir       string
+	CheckpointDiskBytes int64
+
 	// JobRetention bounds how many terminal jobs stay pollable; the
 	// oldest are forgotten first (<= 0 selects 4096). Live jobs are
 	// already bounded by QueueDepth + Workers, so this caps the job
@@ -112,6 +121,9 @@ type Service struct {
 	// httpMetrics maps mux patterns to pre-registered series; "" is the
 	// catch-all for unmatched requests. Built once in buildRegistry.
 	httpMetrics map[string]*routeMetrics
+	// spill is the on-disk checkpoint store shared by every worker's
+	// checkpoint cache; nil when Config.CheckpointDir is unset.
+	spill *DiskSpill
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -165,6 +177,16 @@ func New(cfg Config) *Service {
 		sweeps:   make(map[string]*Sweep),
 		inflight: make(map[string]*Job),
 		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	if cfg.CheckpointDir != "" {
+		spill, err := NewDiskSpill(cfg.CheckpointDir, cfg.CheckpointDiskBytes)
+		if err != nil {
+			// The spill is an optimisation; run memory-only rather than
+			// refuse to start.
+			logger.Error("checkpoint spill disabled", "dir", cfg.CheckpointDir, "err", err)
+		} else {
+			s.spill = spill
+		}
 	}
 	s.buildRegistry()
 	s.wg.Add(cfg.Workers)
@@ -370,12 +392,22 @@ func (s *Service) Close() {
 // simultaneously, so they share the pool exactly like sequential jobs.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	pool := cell.NewPool()
+	pool := cell.NewBatchPool(s.cfg.BatchWidth)
+	// One checkpoint cache per worker, shared across all its jobs (and
+	// batch fibers) so a sweep's variants fork from each other's warm-up
+	// prefixes; the spill underneath is process-wide and survives
+	// restarts.
+	ckpts := harness.NewCheckpointCache(0)
+	if s.spill != nil {
+		ckpts.SetSpill(s.spill)
+	}
 	if width := s.cfg.BatchWidth; width > 1 {
 		batch.Run(width, batch.FeedChan(s.queue, func(job *Job) batch.Task {
 			return func(yield func()) {
 				s.runJob(job, func(opt harness.Options) *harness.Context {
-					return harness.NewBatchedContext(opt, pool, 0, yield)
+					ctx := harness.NewBatchedContext(opt, pool, 0, yield)
+					ctx.SetCheckpointCache(ckpts)
+					return ctx
 				})
 			}
 		}))
@@ -383,7 +415,9 @@ func (s *Service) worker() {
 	}
 	for job := range s.queue {
 		s.runJob(job, func(opt harness.Options) *harness.Context {
-			return harness.NewContextWithPool(opt, pool)
+			ctx := harness.NewContextWithPool(opt, pool)
+			ctx.SetCheckpointCache(ckpts)
+			return ctx
 		})
 	}
 }

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultCheckpointDiskBytes bounds the checkpoint spill directory
+// when Config.CheckpointDiskBytes is unset.
+const DefaultCheckpointDiskBytes = 1 << 30
+
+// DiskSpill persists harness checkpoint snapshots in a directory, one
+// file per key, so warm-up prefixes survive service restarts. It
+// implements harness.CheckpointSpill.
+//
+// Layout: <dir>/<key>.snap, where key is the hex SnapshotKey (already
+// filesystem-safe). Writes go to a .tmp file in the same directory and
+// rename into place, so a crash mid-write never leaves a torn snapshot
+// a later Load could serve (the envelope checksum would catch it, but
+// the entry would be poison until evicted). When the directory exceeds
+// the byte cap, the oldest files by modification time go first — Load
+// refreshes mtime, making eviction least-recently-used.
+//
+// Unlike the in-memory caches, one spill is shared by every worker in
+// the process, so all operations take an internal lock.
+type DiskSpill struct {
+	mu  sync.Mutex
+	dir string
+	cap int64
+}
+
+// NewDiskSpill opens (creating if needed) a spill directory bounded to
+// capBytes on disk (<= 0 selects DefaultCheckpointDiskBytes).
+func NewDiskSpill(dir string, capBytes int64) (*DiskSpill, error) {
+	if capBytes <= 0 {
+		capBytes = DefaultCheckpointDiskBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint spill: %w", err)
+	}
+	return &DiskSpill{dir: dir, cap: capBytes}, nil
+}
+
+func (s *DiskSpill) path(key string) string {
+	return filepath.Join(s.dir, key+".snap")
+}
+
+// Load returns the snapshot stored under key, refreshing its
+// modification time so recently used entries survive eviction.
+func (s *DiskSpill) Load(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(s.path(key), now, now)
+	return blob, true
+}
+
+// Store persists blob under key atomically (tmp file + rename), then
+// evicts the oldest entries beyond the byte cap. Errors are swallowed
+// — the spill is an optimisation; a failed write only costs the next
+// restart its warm start.
+func (s *DiskSpill) Store(key string, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		_ = os.Remove(tmp)
+		return
+	}
+	s.evictLocked(key)
+}
+
+// evictLocked removes the oldest .snap files until the directory fits
+// the cap; keep is never removed (it was just written).
+func (s *DiskSpill) evictLocked(keep string) {
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	var total int64
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, de := range ents {
+		if !strings.HasSuffix(de.Name(), ".snap") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{filepath.Join(s.dir, de.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	keepPath := s.path(keep)
+	for _, e := range entries {
+		if total <= s.cap {
+			return
+		}
+		if e.path == keepPath {
+			continue
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+		}
+	}
+}
+
+// Bytes reports the spill directory's current .snap byte total.
+func (s *DiskSpill) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	for _, de := range ents {
+		if !strings.HasSuffix(de.Name(), ".snap") {
+			continue
+		}
+		if info, err := de.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}

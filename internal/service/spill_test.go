@@ -1,0 +1,117 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// TestDiskSpillRoundTrip: Store then Load returns the blob, Bytes
+// reflects the directory, and no .tmp litter survives.
+func TestDiskSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskSpill(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Store("abc123", []byte("snapshot-bytes"))
+	blob, ok := s.Load("abc123")
+	if !ok || string(blob) != "snapshot-bytes" {
+		t.Fatalf("Load = %q, %v", blob, ok)
+	}
+	if _, ok := s.Load("missing"); ok {
+		t.Error("Load found a key never stored")
+	}
+	if got := s.Bytes(); got != int64(len("snapshot-bytes")) {
+		t.Errorf("Bytes = %d, want %d", got, len("snapshot-bytes"))
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("tmp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestDiskSpillEviction: the byte cap evicts oldest-by-mtime first,
+// never the entry just written.
+func TestDiskSpillEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskSpill(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Store("old", make([]byte, 60))
+	// Age the first entry so mtime ordering is unambiguous on coarse
+	// filesystem clocks.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "old.snap"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	s.Store("new", make([]byte, 60)) // 120 > 100: "old" must go
+	if _, ok := s.Load("old"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := s.Load("new"); !ok {
+		t.Error("just-written entry was evicted")
+	}
+
+	// An oversized single entry is kept (evicting it would thrash).
+	s2, err := NewDiskSpill(t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Store("huge", make([]byte, 500))
+	if _, ok := s2.Load("huge"); !ok {
+		t.Error("oversized entry was evicted on insert")
+	}
+}
+
+// TestServiceCheckpointSpill: a service configured with a checkpoint
+// directory persists warm-up snapshots while running the phase
+// experiment, and a second service over the same directory — a restart
+// — serves them as hits.
+func TestServiceCheckpointSpill(t *testing.T) {
+	dir := t.TempDir()
+	opt := harness.Options{Quick: true, SPEs: 2}
+
+	s1 := New(Config{Workers: 1, CheckpointDir: dir})
+	job, err := s1.Submit("phase-memlat", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, job)
+	if job.State != JobDone {
+		t.Fatalf("job failed: %s", job.Err)
+	}
+	s1.Close()
+	if s1.spill.Bytes() == 0 {
+		t.Fatal("no snapshots spilled to disk")
+	}
+
+	// Restart: the fresh process's first fork finds its prefix on disk.
+	hits := harness.CheckpointHits.Load()
+	misses := harness.CheckpointMisses.Load()
+	s2 := New(Config{Workers: 1, CheckpointDir: dir})
+	defer s2.Close()
+	job2, err := s2.Submit("phase-memlat", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, job2)
+	if job2.State != JobDone {
+		t.Fatalf("restarted job failed: %s", job2.Err)
+	}
+	if harness.CheckpointHits.Load() == hits {
+		t.Error("restarted service never hit the on-disk checkpoints")
+	}
+	if got := harness.CheckpointMisses.Load() - misses; got != 0 {
+		// Every prefix the first service captured should be served from
+		// the spill; a miss means key derivation drifted across restarts.
+		t.Errorf("restarted service missed %d checkpoint lookups", got)
+	}
+}

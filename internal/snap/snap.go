@@ -1,0 +1,275 @@
+// Package snap is the binary serialisation layer of the checkpoint
+// subsystem: a small varint codec (Writer/Reader) every component's
+// Snapshot/Restore pair is written against, plus a versioned,
+// checksummed envelope that makes snapshots safe to cache on disk and
+// hand between processes.
+//
+// Design rules, enforced by convention across the component snapshots:
+//
+//   - Deterministic bytes: two snapshots of identical machine state are
+//     byte-identical. Map iteration is never serialised directly —
+//     callers sort keys first — and every slice is length-prefixed so
+//     the stream is self-delimiting.
+//   - No reflection, no interfaces: each component writes its fields
+//     explicitly, so the format is reviewable and version bumps are
+//     deliberate (see Envelope.Version).
+//   - Sticky errors: a Reader records the first failure and turns every
+//     subsequent read into a no-op returning zero values, so restore
+//     code reads an entire section and checks Err() once.
+package snap
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Writer accumulates a snapshot payload. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the payload size so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// I64 appends a signed integer (zigzag varint).
+func (w *Writer) I64(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// U64 appends an unsigned integer (varint).
+func (w *Writer) U64(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Int appends an int (zigzag varint).
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bytes appends a length-prefixed byte slice. A nil slice round-trips
+// as nil, an empty one as empty (the distinction matters for buffers
+// whose nil-ness is load-bearing).
+func (w *Writer) WriteBytes(b []byte) {
+	if b == nil {
+		w.U64(0)
+		return
+	}
+	w.U64(uint64(len(b)) + 1)
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader decodes a snapshot payload with a sticky error: after the
+// first failure every read returns a zero value and Err() reports the
+// original cause.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps payload for decoding.
+func NewReader(payload []byte) *Reader { return &Reader{buf: payload} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snap: "+format+" at offset %d", append(args, r.off)...)
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated byte")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads a bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// I64 reads a signed varint.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// U64 reads an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// ReadBytes reads a length-prefixed byte slice (a fresh allocation, so
+// restored state never aliases the snapshot buffer). Nil round-trips
+// as nil.
+func (r *Reader) ReadBytes() []byte {
+	n := r.U64()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	n--
+	if uint64(len(r.buf)-r.off) < n {
+		r.fail("truncated bytes (%d wanted)", n)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U64()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		r.fail("truncated string (%d wanted)", n)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// ExpectEOF fails unless the whole payload was consumed — the restore
+// code's final sanity check that reads and writes stayed in lockstep.
+func (r *Reader) ExpectEOF() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		r.err = fmt.Errorf("snap: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return r.err
+}
+
+// magic identifies a snapshot envelope. Bumping it (rather than
+// Version) is reserved for layout changes of the envelope itself.
+var magic = [8]byte{'D', 'T', 'A', 'S', 'N', 'A', 'P', 0}
+
+// Envelope carries one snapshot payload with everything a cache needs
+// to refuse a stale or foreign snapshot before touching machine state:
+// a format version, the identity key of the machine that produced it
+// (configuration + program digest + capture cycle), and a payload
+// checksum.
+type Envelope struct {
+	Version  uint32
+	Identity string // content-addressed snapshot key (see cell.SnapshotKey)
+	Payload  []byte
+}
+
+// Envelope decode errors, distinguished so callers can report a version
+// skew differently from corruption.
+var (
+	ErrMagic    = errors.New("snap: not a snapshot (bad magic)")
+	ErrChecksum = errors.New("snap: payload checksum mismatch")
+)
+
+// VersionError reports a snapshot written by a different format
+// version than the reader understands.
+type VersionError struct {
+	Got, Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snap: snapshot version %d, this build reads %d", e.Got, e.Want)
+}
+
+// Encode frames payload into a self-validating envelope.
+func Encode(version uint32, identity string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, len(magic)+4+8+len(identity)+8+len(payload)+len(sum))
+	out = append(out, magic[:]...)
+	out = binary.BigEndian.AppendUint32(out, version)
+	out = binary.AppendUvarint(out, uint64(len(identity)))
+	out = append(out, identity...)
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = append(out, payload...)
+	out = append(out, sum[:]...)
+	return out
+}
+
+// Decode validates an envelope and returns it. wantVersion is the
+// format version this build writes; a mismatch returns *VersionError
+// (the payload is not inspected further — a bumped version promises
+// nothing about the old layout).
+func Decode(data []byte, wantVersion uint32) (*Envelope, error) {
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != string(magic[:]) {
+		return nil, ErrMagic
+	}
+	off := len(magic)
+	version := binary.BigEndian.Uint32(data[off:])
+	off += 4
+	if version != wantVersion {
+		return nil, &VersionError{Got: version, Want: wantVersion}
+	}
+	idLen, n := binary.Uvarint(data[off:])
+	if n <= 0 || uint64(len(data)-off-n) < idLen {
+		return nil, ErrMagic
+	}
+	off += n
+	identity := string(data[off : off+int(idLen)])
+	off += int(idLen)
+	payLen, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return nil, ErrMagic
+	}
+	off += n
+	if uint64(len(data)-off) != payLen+sha256.Size {
+		return nil, ErrMagic
+	}
+	payload := data[off : off+int(payLen)]
+	var sum [sha256.Size]byte
+	copy(sum[:], data[off+int(payLen):])
+	if sha256.Sum256(payload) != sum {
+		return nil, ErrChecksum
+	}
+	return &Envelope{Version: version, Identity: identity, Payload: payload}, nil
+}

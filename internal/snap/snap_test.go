@@ -1,0 +1,130 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.I64(-12345678901)
+	w.U64(987654321)
+	w.Int(-42)
+	w.WriteBytes([]byte{1, 2, 3})
+	w.WriteBytes(nil)
+	w.WriteBytes([]byte{})
+	w.String("hello")
+	w.String("")
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip")
+	}
+	if got := r.I64(); got != -12345678901 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.U64(); got != 987654321 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.ReadBytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := r.ReadBytes(); got != nil {
+		t.Errorf("nil Bytes = %v", got)
+	}
+	if got := r.ReadBytes(); got == nil || len(got) != 0 {
+		t.Errorf("empty Bytes = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if err := r.ExpectEOF(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{0x80}) // truncated varint
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	first := r.Err()
+	// Every further read is a quiet no-op preserving the first error.
+	_ = r.U8()
+	_ = r.I64()
+	_ = r.ReadBytes()
+	if r.Err() != first {
+		t.Errorf("error not sticky: %v vs %v", r.Err(), first)
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	var w Writer
+	w.Int(1)
+	w.Int(2)
+	r := NewReader(w.Bytes())
+	_ = r.Int()
+	if err := r.ExpectEOF(); err == nil {
+		t.Fatal("ExpectEOF accepted trailing bytes")
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	payload := []byte("component state bytes")
+	data := Encode(3, "sha256:abc", payload)
+	env, err := Decode(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Identity != "sha256:abc" || !bytes.Equal(env.Payload, payload) || env.Version != 3 {
+		t.Errorf("envelope = %+v", env)
+	}
+}
+
+func TestEnvelopeVersionMismatch(t *testing.T) {
+	data := Encode(3, "k", []byte("p"))
+	_, err := Decode(data, 4)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %v, want *VersionError", err)
+	}
+	if ve.Got != 3 || ve.Want != 4 {
+		t.Errorf("version error = %+v", ve)
+	}
+}
+
+func TestEnvelopeCorruption(t *testing.T) {
+	data := Encode(1, "k", []byte("payload"))
+	if _, err := Decode(nil, 1); !errors.Is(err, ErrMagic) {
+		t.Errorf("nil: %v", err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := Decode(bad, 1); !errors.Is(err, ErrMagic) {
+		t.Errorf("magic: %v", err)
+	}
+	bad = append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0xff // checksum byte
+	if _, err := Decode(bad, 1); !errors.Is(err, ErrChecksum) {
+		t.Errorf("checksum: %v", err)
+	}
+	bad = append([]byte(nil), data...)
+	bad[20] ^= 0xff // inside the payload region
+	if _, err := Decode(bad, 1); err == nil {
+		t.Error("payload flip accepted")
+	}
+}

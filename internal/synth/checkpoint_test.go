@@ -1,0 +1,79 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// TestCheckpointDiffCorpus runs the pinned 32-seed corpus with the
+// checkpoint differential enabled: every simulation is re-executed
+// with a snapshot/restore seam at its halfway boundary and must match
+// the uninterrupted run byte for byte.
+func TestCheckpointDiffCorpus(t *testing.T) {
+	opt := CheckOptions{DiffCheckpoint: true, Pool: cell.NewPool()}
+	for _, seed := range CorpusSeeds() {
+		if _, err := CheckSeed(seed, opt); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestReplayTo: the time-travel handle must pause strictly before the
+// requested cycle, finish to the same outcome as a cold run, and
+// Rewind must make the window repeatable.
+func TestReplayTo(t *testing.T) {
+	sc := FromSeed(3)
+	opt := CheckOptions{}.withDefaults()
+
+	prog, err := Generate(sc.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = sc.Normalize().SPEs
+	cfg.Mem.Latency = opt.Latency
+	cfg.MaxCycles = opt.MaxCycles
+	cold, err := cell.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := want.Cycles / 2
+	r, err := ReplayTo(sc, CheckOptions{}, false, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At >= target {
+		t.Fatalf("replay paused at %d, want strictly before %d", r.At, target)
+	}
+	if r.Machine.Now() != r.At {
+		t.Fatalf("machine clock %d, replay says %d", r.Machine.Now(), r.At)
+	}
+	got, err := r.Machine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffResults(want, got); d != "" {
+		t.Fatalf("replayed run differs from cold run: %s", d)
+	}
+
+	// Rewind and run the window again: same outcome.
+	if err := r.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Machine.Now() != r.At {
+		t.Fatalf("rewound clock %d, want %d", r.Machine.Now(), r.At)
+	}
+	again, err := r.Machine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := diffResults(want, again); d != "" {
+		t.Fatalf("rewound run differs: %s", d)
+	}
+}

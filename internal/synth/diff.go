@@ -72,6 +72,13 @@ type CheckOptions struct {
 	// DiffBurst the fast- and slow-path profiles are also required to be
 	// identical sample for sample — the profiler's own differential mode.
 	Profile bool
+	// DiffCheckpoint additionally re-executes every simulation with a
+	// snapshot/restore seam at its halfway boundary — capture there,
+	// restore into a recycled machine, run to completion — and fails the
+	// check unless cycles, all statistics, tokens and the final memory
+	// image are identical to the uninterrupted run: the checkpoint
+	// machinery's differential mode (see cell.Machine.Snapshot).
+	DiffCheckpoint bool
 }
 
 func (o CheckOptions) withDefaults() CheckOptions {
@@ -175,7 +182,65 @@ func runSim(sc Scenario, opt CheckOptions, prog *program.Program) (*cell.Result,
 		}
 		opt.Pool.Put(sm)
 	}
+	if opt.DiffCheckpoint {
+		if err := diffCheckpoint(opt, cfg, prog, res, m); err != nil {
+			return nil, nil, err
+		}
+	}
 	return res, m, nil
+}
+
+// diffCheckpoint re-executes prog with a snapshot/restore seam at the
+// halfway boundary: run a donor to want.Cycles/2, capture, restore the
+// blob into a recycled machine and finish. Any difference from the
+// uninterrupted run — a number, a byte of memory — fails the check.
+func diffCheckpoint(opt CheckOptions, cfg cell.Config, prog *program.Program, want *cell.Result, wantM *cell.Machine) error {
+	div := want.Cycles / 2
+	donor, err := opt.Pool.Get(cfg, prog)
+	if err != nil {
+		return err
+	}
+	_, st, err := donor.RunTo(div)
+	if err != nil {
+		return fmt.Errorf("checkpoint donor: %w", err)
+	}
+	var got *cell.Result
+	var gotM *cell.Machine
+	if st == cell.StepDone {
+		// The run quiesced before the halfway boundary (post-completion
+		// drains can make Cycles/2 unreachable); nothing to seam, but the
+		// donor's outcome must still match.
+		if got, err = donor.Finish(); err != nil {
+			return err
+		}
+		gotM = donor
+	} else {
+		key := cell.SnapshotKey(cfg, prog, div)
+		blob, err := donor.EncodeSnapshot(key)
+		if err != nil {
+			return fmt.Errorf("checkpoint capture: %w", err)
+		}
+		opt.Pool.Put(donor)
+		fresh, err := opt.Pool.Get(cfg, prog)
+		if err != nil {
+			return err
+		}
+		if err := fresh.RestoreSnapshot(blob, key); err != nil {
+			return fmt.Errorf("checkpoint restore: %w", err)
+		}
+		if got, err = opt.runMachine(fresh); err != nil {
+			return fmt.Errorf("restored run: %w", err)
+		}
+		gotM = fresh
+	}
+	if d := diffResults(want, got); d != "" {
+		return fmt.Errorf("checkpoint divergence: %s", d)
+	}
+	if addr, equal := mem.FirstDiff(wantM.MemSparse(), gotM.MemSparse()); !equal {
+		return fmt.Errorf("checkpoint memory divergence at %#x", addr)
+	}
+	opt.Pool.Put(gotM)
+	return nil
 }
 
 // diffResults compares every reported number of two runs of the same

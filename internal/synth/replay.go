@@ -1,0 +1,101 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/sim"
+)
+
+// Replay is a live machine rewound to just before a cycle of interest:
+// the time-travel handle for debugging a fuzz reproducer. The machine
+// is paused at At — the last event boundary strictly before the
+// requested target (or before completion, whichever comes first) — and
+// may be stepped forward with cell.Machine.Step to watch the suspect
+// window unfold. Snapshot re-seeds the same state, so the window can
+// be replayed as many times as the investigation needs:
+//
+//	r, _ := synth.ReplayTo(sc, opt, true, divergeCycle)
+//	r.Machine.Step(1) ... // watch the divergence happen
+//	r.Rewind()            // and again
+type Replay struct {
+	Machine  *cell.Machine
+	At       sim.Cycle // boundary the machine is paused at (< Target)
+	Target   sim.Cycle // the cycle that was asked for
+	Snapshot []byte    // encoded image of the paused state
+	Key      string    // its cell.SnapshotKey (for RestoreSnapshot)
+}
+
+// Rewind restores the machine to the paused boundary, undoing any
+// stepping done since ReplayTo (or the previous Rewind).
+func (r *Replay) Rewind() error {
+	return r.Machine.RestoreSnapshot(r.Snapshot, r.Key)
+}
+
+// ReplayTo rebuilds a scenario's simulation — the original program, or
+// the prefetch-transformed one when transformed is set — and pauses it
+// at the last event boundary strictly before target. The walk captures
+// a snapshot at each boundary it crosses (at most ~64, the stride
+// scales with target) and rewinds to the final one, so the cost is one
+// cold run plus the captures.
+func ReplayTo(sc Scenario, opt CheckOptions, transformed bool, target sim.Cycle) (*Replay, error) {
+	sc = sc.Normalize()
+	opt = opt.withDefaults()
+	prog, err := Generate(sc)
+	if err != nil {
+		return nil, fmt.Errorf("synth: replay seed %d: %w", sc.Seed, err)
+	}
+	if transformed {
+		if prog, err = opt.Transform(prog); err != nil {
+			return nil, fmt.Errorf("synth: replay seed %d: transform: %w", sc.Seed, err)
+		}
+	}
+	cfg := cell.DefaultConfig()
+	cfg.SPEs = sc.SPEs
+	cfg.Mem.Latency = opt.Latency
+	cfg.MaxCycles = opt.MaxCycles
+
+	// The machine deliberately bypasses the pool: the caller keeps it
+	// (and its memory image) alive for interactive inspection.
+	m, err := cell.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replay{Machine: m, Target: target}
+	capture := func() error {
+		key := cell.SnapshotKey(cfg, prog, m.Now())
+		blob, err := m.EncodeSnapshot(key)
+		if err != nil {
+			return fmt.Errorf("synth: replay capture at %d: %w", m.Now(), err)
+		}
+		r.Snapshot, r.Key, r.At = blob, key, m.Now()
+		return nil
+	}
+	if err := capture(); err != nil {
+		return nil, err
+	}
+	stride := target / 64
+	if stride < 1 {
+		stride = 1
+	}
+	for m.Now() < target {
+		budget := target - m.Now()
+		if budget > stride {
+			budget = stride
+		}
+		st, err := m.Step(budget)
+		if err != nil {
+			return nil, fmt.Errorf("synth: replay run at %d: %w", m.Now(), err)
+		}
+		if st == cell.StepDone || m.Now() >= target {
+			break
+		}
+		if err := capture(); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Rewind(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
