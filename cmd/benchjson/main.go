@@ -18,9 +18,11 @@
 //	               than -max-regress percent
 //
 // The benchmark set is the six end-to-end BenchmarkRun* benchmarks of
-// the root package (bitcnt/mmul/zoom × original/prefetch) plus the
-// serial, batched and checkpoint/cold phase-sweep benchmarks of
-// internal/harness, all with -benchmem, so the JSON carries ns/op,
+// the root package (bitcnt/mmul/zoom × original/prefetch), the serial,
+// batched and checkpoint/cold phase-sweep benchmarks of
+// internal/harness, and the internal/cell batch-scheduler A/B
+// (round-robin vs horizon-aware at widths 4/16/64, with slices and
+// switches metrics), all with -benchmem, so the JSON carries ns/op,
 // B/op, allocs/op, the derived simulated cycles per wall-clock second,
 // per-core throughput (via the custom cores metric) and a suite-wide
 // aggregate sim_cycles_per_sec_per_core. The checkpoint pair
@@ -90,6 +92,14 @@ type Result struct {
 	// cycles per iteration that snapshot restores skipped instead of
 	// re-executing.
 	SimCyclesSaved float64 `json:"sim_cycles_saved,omitempty"`
+	// Slices is the custom slices metric: scheduler advances (one
+	// resume-to-yield step of a machine or fiber) per iteration,
+	// reported by the batch benchmarks.
+	Slices float64 `json:"slices,omitempty"`
+	// FiberSwitches is the custom switches metric: the advances that
+	// changed machine/fiber — the context-switch share of Slices, which
+	// horizon-aware scheduling minimises relative to round-robin.
+	FiberSwitches float64 `json:"fiber_switches,omitempty"`
 }
 
 // Document is the BENCH_simthroughput.json layout.
@@ -114,6 +124,10 @@ type suite struct {
 var suites = []suite{
 	{pkg: ".", pattern: "^BenchmarkRun(Mmul|Zoom|Bitcnt)(Original|Prefetch)$"},
 	{pkg: "./internal/harness", pattern: "^BenchmarkHarness(Serial|Batched|Checkpoint|ColdPhase)Sweep$"},
+	// The batch-scheduler A/B: the same 64-scenario stream under
+	// round-robin and horizon-aware scheduling at three widths, with
+	// slices/switches quantifying the scheduling-overhead difference.
+	{pkg: "./internal/cell", pattern: "^BenchmarkBatch(Horizon)?SweepW(4|16|64)$"},
 }
 
 func main() {
@@ -257,6 +271,10 @@ func parseMetrics(r *Result, tail string) error {
 			r.CheckpointHitRatio = v
 		case "sim-cycles-saved":
 			r.SimCyclesSaved = v
+		case "slices":
+			r.Slices = v
+		case "switches":
+			r.FiberSwitches = v
 		}
 	}
 	return nil

@@ -44,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/profiling"
+	"repro/internal/sim"
 	"repro/internal/synth"
 )
 
@@ -165,16 +166,20 @@ func main() {
 			// free list is sized to the batch width: all fibers' machines
 			// retire together between rounds.
 			pool := cell.NewBatchPool(*batchW)
-			check := func(seed uint64, yield func()) {
+			check := func(seed uint64, sched func(sim.Cycle) sim.Cycle) {
 				wopt := opt
 				wopt.Pool = pool
-				wopt.Yield = yield
+				wopt.Sched = sched
 				rep, err := synth.CheckSeed(seed, wopt)
 				record(seed, rep, err)
 			}
 			if *batchW > 1 {
-				batch.Run(*batchW, batch.FeedChan(seedCh, func(seed uint64) batch.Task {
-					return func(yield func()) { check(seed, yield) }
+				batch.RunScheduled(*batchW, batch.KeyedFeedChan(seedCh, func(seed uint64) batch.KeyedTask {
+					return func(yield func(int64) int64) {
+						check(seed, func(next sim.Cycle) sim.Cycle {
+							return sim.Cycle(yield(int64(next)))
+						})
+					}
 				}))
 			} else {
 				for seed := range seedCh {

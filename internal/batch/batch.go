@@ -11,11 +11,21 @@
 // cell.Machine.RunSliced), keeping K hot working sets resident without
 // spawning K goroutines or giving up determinism — the interleaving is
 // a pure function of the feed order and each task's yield pattern.
+//
+// Two schedulers share the fiber machinery: Run is the original
+// round-robin (every live fiber advances once per round), RunScheduled
+// is horizon-aware (fibers carry virtual-time keys — their machine's
+// next pending event cycle — and the earliest-key fiber runs next,
+// sized to the batch horizon). See RunScheduled for why the latter is
+// the default for homogeneous sweeps.
 package batch
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // Process-wide scheduler counters aggregated across every Run (workers
@@ -32,6 +42,11 @@ var (
 	Slices atomic.Int64
 	// SliceNanos accumulates wall-clock time spent inside slices.
 	SliceNanos atomic.Int64
+	// Switches counts slices handed to a different fiber than the one
+	// that ran the previous slice — the context-switch half of Slices.
+	// Round-robin switches on (nearly) every slice; the horizon
+	// scheduler batches consecutive slices of the same fiber.
+	Switches atomic.Int64
 )
 
 // Task is one cooperative unit of work. It runs on its own fiber; the
@@ -40,6 +55,25 @@ var (
 // respect to the other fibers of the same Run.
 type Task func(yield func())
 
+// KeyedTask is a cooperative unit whose yields carry a scheduling key:
+// the virtual time (engine cycle) of the fiber's next pending event.
+// yield parks the fiber and returns the batch horizon — the smallest
+// key among the other ready fibers of the same RunScheduled, or
+// sim.Never when this fiber is alone — so the task can size its next
+// slice to run exactly until a sibling is due. Yielding Waiting parks
+// the fiber until the scheduler runs out of ready siblings (the
+// shared-state wait primitive; see Waiting).
+type KeyedTask func(yield func(key int64) int64)
+
+// Waiting is the yield key of a fiber that cannot progress until a
+// sibling does (e.g. it wants a run-cache result a sibling is
+// computing). Waiting fibers leave the ready queue entirely — they are
+// resumed, in park order, only when no fiber is ready — so a waiter
+// costs nothing while the work it waits for is in flight. Numerically
+// this is sim.Never: "my next pending event is never" and "I cannot
+// progress on my own" are the same statement.
+const Waiting = int64(math.MaxInt64)
+
 // Feed supplies tasks to Run. block reports whether the feed may wait
 // for a task to become available: Run passes block == true only when
 // no fiber is in flight, so waiting cannot stall admitted work. A
@@ -47,22 +81,15 @@ type Task func(yield func())
 // non-blocking call it just means nothing is ready right now.
 type Feed func(block bool) (Task, bool)
 
+// KeyedFeed is Feed for RunScheduled's keyed tasks.
+type KeyedFeed func(block bool) (KeyedTask, bool)
+
 // FeedChan adapts a channel of work items to a Feed, wrapping each
 // received item in a Task via mk. Blocking calls wait on the channel;
 // non-blocking calls poll it. A closed channel ends the stream.
 func FeedChan[T any](ch <-chan T, mk func(T) Task) Feed {
 	return func(block bool) (Task, bool) {
-		var v T
-		var ok bool
-		if block {
-			v, ok = <-ch
-		} else {
-			select {
-			case v, ok = <-ch:
-			default:
-				return nil, false
-			}
-		}
+		v, ok := recvFeed(ch, block)
 		if !ok {
 			return nil, false
 		}
@@ -70,34 +97,93 @@ func FeedChan[T any](ch <-chan T, mk func(T) Task) Feed {
 	}
 }
 
+// KeyedFeedChan is FeedChan for RunScheduled's keyed tasks.
+func KeyedFeedChan[T any](ch <-chan T, mk func(T) KeyedTask) KeyedFeed {
+	return func(block bool) (KeyedTask, bool) {
+		v, ok := recvFeed(ch, block)
+		if !ok {
+			return nil, false
+		}
+		return mk(v), true
+	}
+}
+
+func recvFeed[T any](ch <-chan T, block bool) (T, bool) {
+	var v T
+	var ok bool
+	if block {
+		v, ok = <-ch
+	} else {
+		select {
+		case v, ok = <-ch:
+		default:
+		}
+	}
+	return v, ok
+}
+
+// fiberDone is the state-channel sentinel a fiber sends when its task
+// returns (distinct from every yield key, including Waiting).
+const fiberDone = int64(math.MinInt64)
+
 // fiber is one task's goroutine plus its scheduling channels. The
-// scheduler owns `resume`; the fiber reports back on `state` (true =
-// yielded, false = finished). Only one of the two goroutines runs at a
-// time — each blocks on the other's channel — which is what makes
-// shared state safe.
+// scheduler owns `resume` (carrying the horizon handed to the yield);
+// the fiber reports back on `state` (its next yield key, or fiberDone).
+// Only one of the two goroutines runs at a time — each blocks on the
+// other's channel — which is what makes shared state safe.
 type fiber struct {
-	resume   chan struct{}
-	state    chan bool
+	resume   chan int64
+	state    chan int64
+	seq      int64 // admission order, the deterministic tie-break
 	panicked bool
 	panicVal any
 }
 
-func start(t Task) *fiber {
-	f := &fiber{resume: make(chan struct{}), state: make(chan bool)}
+func start(t KeyedTask, seq int64) *fiber {
+	f := &fiber{resume: make(chan int64), state: make(chan int64), seq: seq}
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
 				f.panicked, f.panicVal = true, r
 			}
-			f.state <- false
+			f.state <- fiberDone
 		}()
 		<-f.resume
-		t(func() {
-			f.state <- true
-			<-f.resume
+		t(func(key int64) int64 {
+			f.state <- key
+			return <-f.resume
 		})
 	}()
 	return f
+}
+
+// advance resumes f for one slice, handing horizon to its parked yield,
+// and returns the key of the fiber's next yield (yielded == false: the
+// task finished and the fiber is gone). last tracks the previously
+// advanced fiber for the switch counter.
+func advance(f *fiber, horizon int64, last **fiber) (key int64, yielded bool) {
+	if *last != f {
+		if *last != nil {
+			Switches.Add(1)
+		}
+		*last = f
+	}
+	t0 := time.Now()
+	f.resume <- horizon
+	key = <-f.state
+	Slices.Add(1)
+	SliceNanos.Add(int64(time.Since(t0)))
+	return key, key != fiberDone
+}
+
+// retire books a finished fiber out of the counters and propagates a
+// contained panic to the scheduler's goroutine.
+func retire(f *fiber) {
+	TasksFinished.Add(1)
+	Runnable.Add(-1)
+	if f.panicked {
+		panic(f.panicVal)
+	}
 }
 
 // Run interleaves tasks from feed, keeping at most width fibers in
@@ -117,6 +203,8 @@ func Run(width int, feed Feed) {
 		width = 1
 	}
 	var live []*fiber
+	var last *fiber
+	var seq int64
 	ended := false
 	for {
 		for !ended && len(live) < width {
@@ -130,7 +218,10 @@ func Run(width int, feed Feed) {
 			}
 			TasksStarted.Add(1)
 			Runnable.Add(1)
-			live = append(live, start(t))
+			seq++
+			live = append(live, start(func(yield func(int64) int64) {
+				t(func() { yield(0) })
+			}, seq))
 		}
 		if len(live) == 0 {
 			// Nothing in flight and the refill loop blocked: the stream
@@ -140,24 +231,122 @@ func Run(width int, feed Feed) {
 		}
 		kept := live[:0]
 		for _, f := range live {
-			t0 := time.Now()
-			f.resume <- struct{}{}
-			yielded := <-f.state
-			Slices.Add(1)
-			SliceNanos.Add(int64(time.Since(t0)))
-			if yielded {
+			if _, yielded := advance(f, 0, &last); yielded {
 				kept = append(kept, f)
 			} else {
-				TasksFinished.Add(1)
-				Runnable.Add(-1)
-				if f.panicked {
-					panic(f.panicVal)
-				}
+				retire(f)
 			}
 		}
 		for i := len(kept); i < len(live); i++ {
 			live[i] = nil
 		}
 		live = kept
+	}
+}
+
+// readyEnt is one ready fiber in RunScheduled's queue, ordered by
+// (key, admission seq) — same-cycle ties resolve in admission order,
+// which keeps the schedule a pure function of the feed.
+type readyEnt struct {
+	key int64
+	f   *fiber
+}
+
+func (a readyEnt) Before(b readyEnt) bool {
+	return a.key < b.key || (a.key == b.key && a.f.seq < b.f.seq)
+}
+
+// RunScheduled interleaves keyed tasks from feed, keeping at most width
+// fibers in flight, picking the next fiber to run by its yield key —
+// the virtual time of its earliest pending event — instead of
+// round-robin. The chosen fiber receives the batch horizon (the
+// smallest key among the remaining ready fibers) so it can run exactly
+// until a sibling is due: consecutive slices of the leading fiber
+// collapse into uninterrupted execution, and slice-boundary overhead is
+// paid only when the schedule actually demands a switch.
+//
+// Fibers that yield Waiting park off the ready queue and are resumed,
+// in park order, when no fiber is ready — the cheap primitive behind
+// run-cache inflight waits (the computing sibling holds a real key, so
+// it keeps running; waiters wake exactly when it can no longer make
+// progress for them).
+//
+// Admission, completion and panic semantics match Run. The schedule is
+// deterministic for a deterministic feed: keys come from deterministic
+// engines and ties resolve by admission order.
+func RunScheduled(width int, feed KeyedFeed) {
+	if width < 1 {
+		width = 1
+	}
+	var ready []readyEnt
+	var waiting []*fiber // FIFO, park order
+	var last *fiber
+	var seq int64
+	live := 0
+	ended := false
+
+	// place books a yield outcome: ready fibers enter the queue keyed,
+	// waiters park FIFO, finished fibers retire.
+	place := func(f *fiber, key int64, yielded bool) {
+		if !yielded {
+			live--
+			retire(f)
+			return
+		}
+		if key == Waiting {
+			waiting = append(waiting, f)
+			return
+		}
+		sim.HeapPush(&ready, readyEnt{key: key, f: f})
+	}
+	// horizon is the earliest key among the currently ready fibers —
+	// what a newly resumed fiber may run until.
+	horizon := func() int64 {
+		if len(ready) == 0 {
+			return Waiting // == sim.Never: run to completion
+		}
+		return ready[0].key
+	}
+
+	for {
+		for !ended && live < width {
+			t, ok := feed(live == 0)
+			if !ok {
+				if live == 0 {
+					ended = true
+				}
+				break
+			}
+			TasksStarted.Add(1)
+			Runnable.Add(1)
+			seq++
+			live++
+			// The first slice runs at admission: it carries the task to
+			// its first keyed yield (machines start at cycle 0, so a
+			// fresh fiber typically enters the queue at the front).
+			f := start(t, seq)
+			key, yielded := advance(f, horizon(), &last)
+			place(f, key, yielded)
+		}
+		if live == 0 {
+			return
+		}
+		if len(ready) == 0 {
+			// Every live fiber is parked Waiting. Whatever they waited
+			// on has either landed or will never come from a sibling:
+			// resume them in park order so each re-checks (and the first
+			// typically becomes the new computing fiber, re-parking the
+			// rest).
+			w := waiting
+			waiting = nil
+			for _, f := range w {
+				key, yielded := advance(f, horizon(), &last)
+				place(f, key, yielded)
+			}
+			continue
+		}
+		ent := sim.HeapPop(&ready)
+		key, yielded := advance(ent.f, horizon(), &last)
+		place(ent.f, key, yielded)
 	}
 }

@@ -31,9 +31,13 @@ type Scenario struct {
 //
 // A Batch is a per-goroutine object, like the Pool it draws from.
 type Batch struct {
-	pool  *Pool
-	width int
-	slice sim.Cycle
+	pool    *Pool
+	width   int
+	slice   sim.Cycle
+	horizon bool
+
+	slices   int64
+	switches int64
 }
 
 // NewBatch returns a scheduler drawing machines from pool, running up
@@ -50,6 +54,26 @@ func NewBatch(pool *Pool, width int, slice sim.Cycle) *Batch {
 	return &Batch{pool: pool, width: width, slice: slice}
 }
 
+// NewHorizonBatch returns a Batch whose Run schedules horizon-aware
+// instead of round-robin: the machine with the earliest pending engine
+// event runs next, and its slice extends to the batch horizon — the
+// cycle at which the next sibling is due — but at least slice cycles
+// (the anti-ping-pong floor; <= 0 selects DefaultSlice). Per-machine
+// results are byte-identical to NewBatch and to run-to-completion Run
+// (only the interleaving across machines changes); retirement order
+// follows simulated completion times instead of admission rounds.
+func NewHorizonBatch(pool *Pool, width int, slice sim.Cycle) *Batch {
+	b := NewBatch(pool, width, slice)
+	b.horizon = true
+	return b
+}
+
+// Slices reports how many machine advances Run made; Switches how many
+// of them stepped a different machine than the previous advance — the
+// scheduler-overhead pair the batch benchmarks emit.
+func (b *Batch) Slices() int64   { return b.slices }
+func (b *Batch) Switches() int64 { return b.switches }
+
 // Run drains the feed: it admits scenarios until feed reports no more,
 // round-robins the live machines, and returns when every admitted
 // scenario has retired. Retirement order is deterministic for a
@@ -57,10 +81,15 @@ func NewBatch(pool *Pool, width int, slice sim.Cycle) *Batch {
 // it). A panic inside a scenario's build or step is contained to that
 // scenario and delivered through its Done callback.
 func (b *Batch) Run(feed func() (Scenario, bool)) {
+	if b.horizon {
+		b.runHorizon(feed)
+		return
+	}
 	type slot struct {
 		sc Scenario
 		m  *Machine
 	}
+	var lastM *Machine
 	live := make([]slot, 0, b.width)
 	exhausted := false
 	admit := func() bool {
@@ -85,6 +114,13 @@ func (b *Batch) Run(feed func() (Scenario, bool)) {
 	for admit() {
 		kept := live[:0]
 		for _, s := range live {
+			b.slices++
+			if lastM != s.m {
+				if lastM != nil {
+					b.switches++
+				}
+				lastM = s.m
+			}
 			var res *Result
 			var done bool
 			err := guarded(func() (err error) {
@@ -110,6 +146,98 @@ func (b *Batch) Run(feed func() (Scenario, bool)) {
 			live[i] = slot{} // drop retired machine references
 		}
 		live = kept
+	}
+}
+
+// hslot is one live machine in the horizon scheduler's ready queue,
+// ordered by (next pending event cycle, admission order) — same-cycle
+// ties resolve in admission order so the schedule is a pure function of
+// the feed.
+type hslot struct {
+	sc  Scenario
+	m   *Machine
+	key sim.Cycle
+	seq int64
+}
+
+func (a hslot) Before(b hslot) bool {
+	return a.key < b.key || (a.key == b.key && a.seq < b.seq)
+}
+
+// runHorizon drains the feed under horizon-aware scheduling: the
+// machine with the earliest pending event advances next, in one slice
+// sized to max(slice floor, batch horizon). A machine mid-run always
+// has a pending event (a budgeted stop implies pending work), so keys
+// are finite and every live slot stays schedulable.
+func (b *Batch) runHorizon(feed func() (Scenario, bool)) {
+	var ready []hslot
+	var seq int64
+	var lastSeq int64 = -1
+	exhausted := false
+	admit := func() {
+		for !exhausted && len(ready) < b.width {
+			sc, ok := feed()
+			if !ok {
+				exhausted = true
+				break
+			}
+			var m *Machine
+			if err := guarded(func() (err error) {
+				m, err = b.pool.Get(sc.Cfg, sc.Prog)
+				return err
+			}); err != nil {
+				sc.Done(nil, err)
+				continue
+			}
+			seq++
+			sim.HeapPush(&ready, hslot{sc: sc, m: m, key: m.NextEvent(), seq: seq})
+		}
+	}
+	for {
+		admit()
+		if len(ready) == 0 {
+			return
+		}
+		s := sim.HeapPop(&ready)
+		horizon := sim.Never
+		if len(ready) > 0 {
+			horizon = ready[0].key
+		}
+		until := s.m.Now() + b.slice
+		if until < s.m.Now() { // overflow: saturate
+			until = sim.Never
+		}
+		if horizon > until {
+			until = horizon
+		}
+		b.slices++
+		if s.seq != lastSeq {
+			if lastSeq >= 0 {
+				b.switches++
+			}
+			lastSeq = s.seq
+		}
+		var res *Result
+		var done bool
+		err := guarded(func() (err error) {
+			var st StepStatus
+			if st, err = s.m.StepUntil(until); err != nil || st != StepDone {
+				return err
+			}
+			done = true
+			res, err = s.m.Finish()
+			return err
+		})
+		switch {
+		case err != nil:
+			s.sc.Done(nil, err) // errored machine state is unknown: not pooled
+		case done:
+			s.sc.Done(res, nil)
+			b.pool.Put(s.m)
+		default:
+			s.key = s.m.NextEvent()
+			sim.HeapPush(&ready, s)
+		}
 	}
 }
 

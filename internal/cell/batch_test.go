@@ -105,6 +105,54 @@ func TestBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestBatchHorizonMatchesSequential is TestBatchMatchesSequential for
+// the horizon-aware scheduler: per-scenario results must be identical
+// to run-to-completion regardless of width or slice floor — only the
+// interleaving across machines may differ from round-robin.
+func TestBatchHorizonMatchesSequential(t *testing.T) {
+	cfg := smallConfig(2)
+	progs := batchPrograms(t)
+	want := make([]*Result, len(progs))
+	for i, p := range progs {
+		want[i] = run(t, cfg, p)
+	}
+	for _, width := range []int{1, 3, 8, 64} {
+		for _, slice := range []sim.Cycle{1, 100, DefaultSlice} {
+			got := make([]*Result, len(progs))
+			next := 0
+			b := NewHorizonBatch(NewPool(), width, slice)
+			b.Run(func() (Scenario, bool) {
+				if next >= len(progs) {
+					return Scenario{}, false
+				}
+				i := next
+				next++
+				return Scenario{Cfg: cfg, Prog: progs[i], Done: func(res *Result, err error) {
+					if err != nil {
+						t.Errorf("width=%d slice=%d scenario %d: %v", width, slice, i, err)
+						return
+					}
+					got[i] = res
+				}}, true
+			})
+			for i := range progs {
+				if got[i] == nil {
+					t.Fatalf("width=%d slice=%d: scenario %d never retired", width, slice, i)
+				}
+				resultsIdentical(t, want[i], got[i],
+					fmt.Sprintf("horizon width=%d slice=%d scenario=%d", width, slice, i))
+			}
+			if b.Slices() < int64(len(progs)) {
+				t.Fatalf("width=%d slice=%d: %d slices for %d scenarios", width, slice, b.Slices(), len(progs))
+			}
+			if b.Switches() >= b.Slices() {
+				t.Fatalf("width=%d slice=%d: switches %d not below slices %d",
+					width, slice, b.Switches(), b.Slices())
+			}
+		}
+	}
+}
+
 // TestBatchContainsFailures checks a panicking scenario (nil program)
 // and an erroring scenario (program too big for the configuration)
 // retire with errors while their batch-mates complete normally.
@@ -190,8 +238,11 @@ func TestPoolCap(t *testing.T) {
 
 // benchmarkBatchSweep pushes a fixed 64-scenario stream through Batch
 // at the given width, reporting simulated cycles so benchjson can
-// derive sim-cycles/sec/core (the batch always runs on one core).
-func benchmarkBatchSweep(b *testing.B, width int) {
+// derive sim-cycles/sec/core (the batch always runs on one core), plus
+// the scheduler-overhead pair: slices (machine advances) and switches
+// (advances that changed machine) per sweep — the round-robin vs
+// horizon A/B lives in exactly those two numbers.
+func benchmarkBatchSweep(b *testing.B, width int, horizon bool) {
 	cfg := smallConfig(2)
 	base := batchPrograms(b)
 	var progs []*program.Program
@@ -204,9 +255,12 @@ func benchmarkBatchSweep(b *testing.B, width int) {
 	// would rebuild retired configurations every round.
 	pool := NewBatchPool(width)
 	b.ResetTimer()
-	var cycles int64
+	var cycles, slices, switches int64
 	for i := 0; i < b.N; i++ {
 		batch := NewBatch(pool, width, 0)
+		if horizon {
+			batch = NewHorizonBatch(pool, width, 0)
+		}
 		next := 0
 		batch.Run(func() (Scenario, bool) {
 			if next >= len(progs) {
@@ -221,14 +275,23 @@ func benchmarkBatchSweep(b *testing.B, width int) {
 				cycles += int64(res.Cycles)
 			}}, true
 		})
+		slices += batch.Slices()
+		switches += batch.Switches()
 	}
 	// After the loop: metrics reported before b.N iterations run are
 	// discarded by the testing package.
 	b.ReportMetric(1, "cores")
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles")
+	b.ReportMetric(float64(slices)/float64(b.N), "slices")
+	b.ReportMetric(float64(switches)/float64(b.N), "switches")
 }
 
-func BenchmarkBatchSweepW1(b *testing.B)  { benchmarkBatchSweep(b, 1) }
-func BenchmarkBatchSweepW4(b *testing.B)  { benchmarkBatchSweep(b, 4) }
-func BenchmarkBatchSweepW16(b *testing.B) { benchmarkBatchSweep(b, 16) }
-func BenchmarkBatchSweepW64(b *testing.B) { benchmarkBatchSweep(b, 64) }
+func BenchmarkBatchSweepW1(b *testing.B)  { benchmarkBatchSweep(b, 1, false) }
+func BenchmarkBatchSweepW4(b *testing.B)  { benchmarkBatchSweep(b, 4, false) }
+func BenchmarkBatchSweepW16(b *testing.B) { benchmarkBatchSweep(b, 16, false) }
+func BenchmarkBatchSweepW64(b *testing.B) { benchmarkBatchSweep(b, 64, false) }
+
+func BenchmarkBatchHorizonSweepW4(b *testing.B)  { benchmarkBatchSweep(b, 4, true) }
+func BenchmarkBatchHorizonSweepW16(b *testing.B) { benchmarkBatchSweep(b, 16, true) }
+func BenchmarkBatchHorizonSweepW64(b *testing.B) { benchmarkBatchSweep(b, 64, true) }
+

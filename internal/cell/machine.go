@@ -402,6 +402,20 @@ func (m *Machine) Step(budget sim.Cycle) (StepStatus, error) {
 	if until < m.eng.Now() { // saturate (budget == sim.Never: unbounded)
 		until = sim.Never
 	}
+	return m.StepUntil(until)
+}
+
+// NextEvent returns the cycle of the machine's earliest pending engine
+// event (sim.Never when quiescent) — the virtual-time key a
+// horizon-aware batch scheduler orders paused machines by.
+func (m *Machine) NextEvent() sim.Cycle { return m.eng.NextEvent() }
+
+// StepUntil is the absolute-cycle form of Step: it advances the
+// simulation until the next event would run at a cycle >= until and
+// reports whether the run completed. The same fidelity contract as Step
+// applies — the boundary lands on a natural event cycle, so any
+// sequence of StepUntil calls replays an unbounded Run exactly.
+func (m *Machine) StepUntil(until sim.Cycle) (StepStatus, error) {
 	limit := sim.Never
 	if m.cfg.MaxCycles > 0 {
 		limit = m.cfg.MaxCycles
@@ -496,6 +510,39 @@ func (m *Machine) RunSliced(slice sim.Cycle, yield func()) (*Result, error) {
 			return m.Finish()
 		}
 		yield()
+	}
+}
+
+// RunScheduled executes the program to completion under a horizon-aware
+// scheduler: before each slice it reports the machine's next pending
+// event cycle to sched (parking the caller's fiber until the scheduler
+// picks it again) and receives the batch horizon — the cycle at which a
+// sibling machine is next due. The slice then runs to the horizon, but
+// at least floor cycles past the current point (floor <= 0 selects
+// DefaultSlice) so machines with interleaved event streams don't
+// ping-pong cycle by cycle; a horizon of sim.Never runs to completion.
+// The result is byte-identical to Run — the horizon only sizes slices,
+// and slice boundaries land on natural event cycles (see Step).
+func (m *Machine) RunScheduled(floor sim.Cycle, sched func(next sim.Cycle) sim.Cycle) (*Result, error) {
+	if floor <= 0 {
+		floor = DefaultSlice
+	}
+	for {
+		horizon := sched(m.NextEvent())
+		until := m.eng.Now() + floor
+		if until < m.eng.Now() { // overflow: saturate
+			until = sim.Never
+		}
+		if horizon > until {
+			until = horizon
+		}
+		st, err := m.StepUntil(until)
+		if err != nil {
+			return nil, err
+		}
+		if st == StepDone {
+			return m.Finish()
+		}
 	}
 }
 

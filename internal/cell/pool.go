@@ -61,6 +61,18 @@ func NewBatchPool(width int) *Pool {
 	return NewPoolCap(width)
 }
 
+// GrowCap raises the per-config free-list cap to at least perConfig, so
+// a pool recycled from a narrower batch can serve a wider one without
+// dropping machines every round. A no-op for unbounded pools or caps
+// already at least that large; the cap never shrinks (retained machines
+// stay retained).
+func (p *Pool) GrowCap(perConfig int) {
+	if p == nil || p.cap == 0 || perConfig <= p.cap {
+		return
+	}
+	p.cap = perConfig
+}
+
 // NewPoolCap returns an empty machine pool retaining at most perConfig
 // idle machines per configuration; perConfig <= 0 means unbounded.
 func NewPoolCap(perConfig int) *Pool {

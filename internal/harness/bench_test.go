@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/batch"
 	"repro/internal/cell"
 )
 
@@ -16,6 +17,7 @@ func benchmarkSweep(b *testing.B, cores float64, run func(Options, []*Experiment
 	exps := sweepExperiments(b)
 	b.ResetTimer()
 	var cycles int64
+	slices0, switches0 := batch.Slices.Load(), batch.Switches.Load()
 	for i := 0; i < b.N; i++ {
 		for _, r := range run(quickOpts(), exps) {
 			if r.Err != nil {
@@ -28,6 +30,10 @@ func benchmarkSweep(b *testing.B, cores float64, run func(Options, []*Experiment
 	// discarded by the testing package.
 	b.ReportMetric(cores, "cores")
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles")
+	// Fiber-scheduler overhead (0 for non-batched runners): how many
+	// slices the sweep took and how many of them switched fibers.
+	b.ReportMetric(float64(batch.Slices.Load()-slices0)/float64(b.N), "slices")
+	b.ReportMetric(float64(batch.Switches.Load()-switches0)/float64(b.N), "switches")
 }
 
 // BenchmarkHarnessSerialSweep is the baseline: the same per-experiment

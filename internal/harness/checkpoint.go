@@ -192,7 +192,7 @@ func (cc *CheckpointCache) touch(key string) {
 // capture point, and therefore the checkpoint key's meaning, does not
 // depend on the runner.
 func (c *Context) runTo(m *cell.Machine, target sim.Cycle) (cell.StepStatus, error) {
-	if c.yield == nil {
+	if c.sched == nil {
 		_, st, err := m.RunTo(target)
 		return st, err
 	}
@@ -201,19 +201,20 @@ func (c *Context) runTo(m *cell.Machine, target sim.Cycle) (cell.StepStatus, err
 		slice = cell.DefaultSlice
 	}
 	for m.Now() < target {
-		budget := target - m.Now()
-		if budget > slice {
-			budget = slice
+		horizon := c.sched(m.NextEvent())
+		until := m.Now() + slice
+		if horizon > until {
+			until = horizon
 		}
-		st, err := m.Step(budget)
+		if until > target || until < m.Now() { // cap at the capture point
+			until = target
+		}
+		st, err := m.StepUntil(until)
 		if err != nil {
 			return 0, err
 		}
 		if st == cell.StepDone {
 			return cell.StepDone, nil
-		}
-		if m.Now() < target {
-			c.yield()
 		}
 	}
 	return cell.StepBudget, nil
@@ -274,8 +275,8 @@ func (c *Context) fork(prog *program.Program, spes int, knobs cell.Knobs, div si
 		res, err = m.Finish()
 	} else {
 		m.ApplyKnobs(knobs)
-		if c.yield != nil {
-			res, err = m.RunSliced(c.slice, c.yield)
+		if c.sched != nil {
+			res, err = m.RunScheduled(c.slice, c.sched)
 		} else {
 			res, err = m.Run()
 		}

@@ -168,12 +168,18 @@ type Context struct {
 	// Context.fork). Shared by Sub contexts and batch fibers exactly
 	// like the run cache.
 	ckpts *CheckpointCache
-	// Batched execution (see Batched): yield parks this context's fiber
-	// between bounded simulation slices, slice is the per-round cycle
-	// budget, and inflight marks cache keys a sibling fiber is currently
-	// computing so this fiber waits for the result instead of duplicating
-	// the simulation. All nil/zero for serial and parallel contexts.
-	yield    func()
+	// Batched execution (see Batched): sched parks this context's fiber
+	// between simulation slices, reporting the machine's next pending
+	// event cycle (the scheduling key) and receiving the batch horizon —
+	// the cycle at which a sibling fiber is next due — so slices run
+	// exactly to natural scheduling points (cell.Machine.RunScheduled).
+	// Passing sim.Never parks the fiber until no sibling is runnable
+	// (batch.Waiting — the inflight-dedup wait). slice is the minimum
+	// per-slice cycle budget, and inflight marks cache keys a sibling
+	// fiber is currently computing so this fiber waits for the result
+	// instead of duplicating the simulation. All nil/zero for serial and
+	// parallel contexts.
+	sched    func(next sim.Cycle) sim.Cycle
 	slice    sim.Cycle
 	inflight map[runKey]bool
 	// simCycles accumulates the simulated cycles this context's
@@ -311,7 +317,7 @@ func (c *Context) Sub(opt Options) *Context {
 		progs:        c.progs,
 		pool:         c.pool,
 		ckpts:        c.ckpts,
-		yield:        c.yield,
+		sched:        c.sched,
 		slice:        c.slice,
 		inflight:     c.inflight,
 		simCycles:    c.simCycles,
@@ -430,11 +436,15 @@ func (c *Context) memoRun(key runKey, compute func() (*cell.Result, error)) (*ce
 			addCauseCycles(r)
 			return r, nil
 		}
-		if c.yield == nil || !c.inflight[key] {
+		if c.sched == nil || !c.inflight[key] {
 			break
 		}
 		waited = true
-		c.yield()
+		// Park as a waiter (batch.Waiting == sim.Never): the scheduler
+		// resumes this fiber only when no sibling is runnable — by which
+		// point the computing fiber has landed the result (or failed and
+		// cleared the mark). No busy-yield round-trips in between.
+		c.sched(sim.Never)
 	}
 	if c.inflight != nil {
 		c.inflight[key] = true
@@ -549,10 +559,10 @@ func (c *Context) execute(prog *program.Program, spes int, v variant) (*cell.Res
 		return nil, err
 	}
 	var res *cell.Result
-	if c.yield != nil {
-		// Batched fiber: advance in bounded slices, parking between them
-		// so sibling simulations interleave on this worker.
-		res, err = m.RunSliced(c.slice, c.yield)
+	if c.sched != nil {
+		// Batched fiber: advance in horizon-sized slices, parking between
+		// them so sibling simulations interleave on this worker.
+		res, err = m.RunScheduled(c.slice, c.sched)
 	} else {
 		res, err = m.Run()
 	}

@@ -38,7 +38,7 @@ func runSynth(ctx *Context, seed uint64) (*Outcome, error) {
 	rep, err := synth.CheckScenario(sc, synth.CheckOptions{
 		Latency: ctx.Opt.Latency,
 		Pool:    ctx.pool,
-		Yield:   ctx.yield,
+		Sched:   ctx.sched,
 		Slice:   ctx.slice,
 	})
 	if err != nil {

@@ -64,6 +64,7 @@ type Stats struct {
 type LocalStore struct {
 	cfg      Config
 	data     []byte
+	dirty    int // bytes [0,dirty) may be non-zero; the rest is known zero
 	portFree [NumPorts]sim.Cycle
 	stats    Stats
 }
@@ -86,11 +87,21 @@ func (l *LocalStore) Latency() int { return l.cfg.Latency }
 func (l *LocalStore) Stats() Stats { return l.stats }
 
 // Reset zeroes the store contents, port bookings and statistics for
-// machine reuse. The backing array is kept.
+// machine reuse. The backing array is kept, and only the written
+// prefix [0,dirty) is cleared — pooled machines reset in time
+// proportional to the bytes the previous run actually touched.
 func (l *LocalStore) Reset() {
-	clear(l.data)
+	clear(l.data[:l.dirty])
+	l.dirty = 0
 	l.portFree = [NumPorts]sim.Cycle{}
 	l.stats = Stats{}
+}
+
+// touch grows the dirty high-water mark to end.
+func (l *LocalStore) touch(end int64) {
+	if int(end) > l.dirty {
+		l.dirty = int(end)
+	}
 }
 
 // Access books an n-byte access on port starting no earlier than now and
@@ -135,6 +146,7 @@ func (l *LocalStore) WriteBytes(addr int64, data []byte) error {
 		return err
 	}
 	copy(l.data[addr:], data)
+	l.touch(addr + int64(len(data)))
 	return nil
 }
 
@@ -160,6 +172,7 @@ func (l *LocalStore) Write32(addr int64, v int64) error {
 		return err
 	}
 	binary.LittleEndian.PutUint32(l.data[addr:], uint32(v))
+	l.touch(addr + 4)
 	return nil
 }
 
@@ -169,5 +182,6 @@ func (l *LocalStore) Write64(addr int64, v int64) error {
 		return err
 	}
 	binary.LittleEndian.PutUint64(l.data[addr:], uint64(v))
+	l.touch(addr + 8)
 	return nil
 }

@@ -13,7 +13,7 @@ import (
 // prefix costs bytes), port bookings and statistics.
 func (l *LocalStore) Snapshot(w *snap.Writer) {
 	w.Int(len(l.data))
-	end := len(l.data)
+	end := l.dirty // bytes beyond the high-water mark are known zero
 	for end > 0 && l.data[end-1] == 0 {
 		end--
 	}
@@ -46,8 +46,9 @@ func (l *LocalStore) Restore(r *snap.Reader) error {
 	if len(data) > len(l.data) {
 		return fmt.Errorf("ls: snapshot content %d bytes exceeds store %d", len(data), len(l.data))
 	}
-	clear(l.data)
+	clear(l.data[:l.dirty])
 	copy(l.data, data)
+	l.dirty = len(data)
 	for i := range l.portFree {
 		l.portFree[i] = sim.Cycle(r.I64())
 	}

@@ -38,10 +38,14 @@ type Stats struct {
 	PortBusy     int64 // cycles of port occupancy, summed over ports
 }
 
+// outEvent is a pending-response heap entry. The message payload lives
+// in Memory.outSlab (indexed by slot) so heap sifts move 24-byte refs
+// instead of whole Messages — the same slab indirection the network's
+// delivery heap uses.
 type outEvent struct {
-	at  sim.Cycle
-	msg noc.Message
-	seq int64
+	at   sim.Cycle
+	seq  int64
+	slot int32
 }
 
 // Before orders response events by (ready cycle, service order) for the
@@ -66,6 +70,8 @@ type Memory struct {
 	inbox    []noc.Message
 	portFree []sim.Cycle
 	out      []outEvent
+	outSlab  []noc.Message // payloads for out entries, indexed by slot
+	outFree  []int32       // recycled outSlab slots
 	seq      int64
 	stats    Stats
 
@@ -110,10 +116,12 @@ func (m *Memory) Reset() {
 	for i := range m.portFree {
 		m.portFree[i] = 0
 	}
-	for i := range m.out {
-		m.out[i] = outEvent{} // release payload references
-	}
 	m.out = m.out[:0]
+	for i := range m.outSlab {
+		m.outSlab[i] = noc.Message{} // release payload references
+	}
+	m.outSlab = m.outSlab[:0]
+	m.outFree = m.outFree[:0]
 	m.seq = 0
 	m.stats = Stats{}
 }
@@ -144,9 +152,21 @@ func (m *Memory) reservePort(now sim.Cycle, occupancy sim.Cycle) sim.Cycle {
 	return start
 }
 
+// outAlloc parks a payload in the slab and returns its slot.
+func (m *Memory) outAlloc(msg noc.Message) int32 {
+	if n := len(m.outFree); n > 0 {
+		slot := m.outFree[n-1]
+		m.outFree = m.outFree[:n-1]
+		m.outSlab[slot] = msg
+		return slot
+	}
+	m.outSlab = append(m.outSlab, msg)
+	return int32(len(m.outSlab) - 1)
+}
+
 func (m *Memory) emit(at sim.Cycle, msg noc.Message) {
 	m.seq++
-	sim.HeapPush(&m.out, outEvent{at: at, msg: msg, seq: m.seq})
+	sim.HeapPush(&m.out, outEvent{at: at, seq: m.seq, slot: m.outAlloc(msg)})
 }
 
 // occupancyFor returns the port cycles for an n-byte transfer.
@@ -167,7 +187,10 @@ func (m *Memory) Tick(now sim.Cycle) sim.Cycle {
 
 	for len(m.out) > 0 && m.out[0].at <= now {
 		ev := sim.HeapPop(&m.out)
-		m.net.Send(now, ev.msg)
+		msg := m.outSlab[ev.slot]
+		m.outSlab[ev.slot] = noc.Message{} // release payload reference
+		m.outFree = append(m.outFree, ev.slot)
+		m.net.Send(now, msg)
 	}
 
 	if len(m.out) > 0 {

@@ -86,7 +86,7 @@ func (m *Memory) Snapshot(w *snap.Writer) {
 	for _, ev := range m.out {
 		w.I64(int64(ev.at))
 		w.I64(ev.seq)
-		noc.SnapshotMessage(w, ev.msg)
+		noc.SnapshotMessage(w, m.outSlab[ev.slot])
 	}
 	w.I64(m.seq)
 	w.I64(m.stats.ScalarReads)
@@ -116,10 +116,12 @@ func (m *Memory) Restore(r *snap.Reader) error {
 	for i := 0; i < np; i++ {
 		m.portFree[i] = sim.Cycle(r.I64())
 	}
-	for i := range m.out {
-		m.out[i] = outEvent{}
-	}
 	m.out = m.out[:0]
+	for i := range m.outSlab {
+		m.outSlab[i] = noc.Message{}
+	}
+	m.outSlab = m.outSlab[:0]
+	m.outFree = m.outFree[:0]
 	no := r.Int()
 	for i := 0; i < no; i++ {
 		at := sim.Cycle(r.I64())
@@ -128,7 +130,7 @@ func (m *Memory) Restore(r *snap.Reader) error {
 		if r.Err() != nil {
 			return r.Err()
 		}
-		sim.HeapPush(&m.out, outEvent{at: at, msg: msg, seq: seq})
+		sim.HeapPush(&m.out, outEvent{at: at, seq: seq, slot: m.outAlloc(msg)})
 	}
 	m.seq = r.I64()
 	m.stats.ScalarReads = r.I64()

@@ -112,12 +112,14 @@ const (
 	evComplete               // a GET's last packet is durably in the LS
 )
 
+// timedEvent is a timer-heap entry. slot names a command slab slot for
+// evLaunch/evComplete and a sendSlab slot for evSend (the packet payload
+// lives there so heap sifts move compact refs, not whole Messages).
 type timedEvent struct {
 	at   sim.Cycle
 	seq  int64
 	kind evKind
 	slot int32
-	msg  noc.Message
 }
 
 // Before orders events by (due cycle, schedule order) for the typed
@@ -151,6 +153,8 @@ type Engine struct {
 	inflightN int  // commands launched and awaiting data/ack
 	tags      []tagEntry
 	events    []timedEvent
+	sendSlab  []noc.Message // evSend payloads, indexed by event slot
+	sendFree  []int32       // recycled sendSlab slots
 	nextGen   int64
 	seq       int64
 	stats     Stats
@@ -201,10 +205,12 @@ func (e *Engine) Reset() {
 	e.headBusy = false
 	e.inflightN = 0
 	e.tags = e.tags[:0]
-	for i := range e.events {
-		e.events[i] = timedEvent{} // release payload references
-	}
 	e.events = e.events[:0]
+	for i := range e.sendSlab {
+		e.sendSlab[i] = noc.Message{} // release payload references
+	}
+	e.sendSlab = e.sendSlab[:0]
+	e.sendFree = e.sendFree[:0]
 	e.nextGen = 0
 	e.seq = 0
 	e.stats = Stats{}
@@ -351,13 +357,28 @@ func (e *Engine) schedule(at sim.Cycle, ev timedEvent) {
 	}
 }
 
+// sendAlloc parks an evSend payload in the slab and returns its slot.
+func (e *Engine) sendAlloc(msg noc.Message) int32 {
+	if n := len(e.sendFree); n > 0 {
+		slot := e.sendFree[n-1]
+		e.sendFree = e.sendFree[:n-1]
+		e.sendSlab[slot] = msg
+		return slot
+	}
+	e.sendSlab = append(e.sendSlab, msg)
+	return int32(len(e.sendSlab) - 1)
+}
+
 // dispatch runs one due timer event.
 func (e *Engine) dispatch(now sim.Cycle, ev timedEvent) {
 	switch ev.kind {
 	case evLaunch:
 		e.launch(now, ev.slot)
 	case evSend:
-		e.net.Send(now, ev.msg)
+		msg := e.sendSlab[ev.slot]
+		e.sendSlab[ev.slot] = noc.Message{} // release payload reference
+		e.sendFree = append(e.sendFree, ev.slot)
+		e.net.Send(now, msg)
 	case evPopHead:
 		e.popHead(now)
 	case evComplete:
@@ -432,10 +453,10 @@ func (e *Engine) launch(now sim.Cycle, slot int32) {
 			if off+n >= cmd.size {
 				last = 1
 			}
-			e.schedule(ready, timedEvent{kind: evSend, msg: noc.Message{
+			e.schedule(ready, timedEvent{kind: evSend, slot: e.sendAlloc(noc.Message{
 				Src: e.id, Dst: e.memID, Kind: noc.KindMemBlockWrite,
 				A: cmd.ea + off, B: last, C: cmd.id, D: off, Data: buf,
-			}})
+			})})
 			t = ready
 			off += n
 		}

@@ -68,8 +68,16 @@ func (e *Engine) Snapshot(w *snap.Writer) {
 		w.I64(int64(ev.at))
 		w.I64(ev.seq)
 		w.U8(uint8(ev.kind))
-		w.I64(int64(ev.slot))
-		noc.SnapshotMessage(w, ev.msg)
+		// Same wire layout as when events carried payloads inline: evSend
+		// writes a zero slot plus its slab payload, every other kind
+		// writes its command slot plus an empty message.
+		if ev.kind == evSend {
+			w.I64(0)
+			noc.SnapshotMessage(w, e.sendSlab[ev.slot])
+		} else {
+			w.I64(int64(ev.slot))
+			noc.SnapshotMessage(w, noc.Message{})
+		}
 	}
 	w.I64(e.nextGen)
 	w.I64(e.seq)
@@ -122,10 +130,12 @@ func (e *Engine) Restore(r *snap.Reader) error {
 	for i := 0; i < nt; i++ {
 		e.tags = append(e.tags, tagEntry{tag: r.I64(), n: int32(r.I64())})
 	}
-	for i := range e.events {
-		e.events[i] = timedEvent{}
-	}
 	e.events = e.events[:0]
+	for i := range e.sendSlab {
+		e.sendSlab[i] = noc.Message{}
+	}
+	e.sendSlab = e.sendSlab[:0]
+	e.sendFree = e.sendFree[:0]
 	ne := r.Int()
 	for i := 0; i < ne; i++ {
 		var ev timedEvent
@@ -133,9 +143,12 @@ func (e *Engine) Restore(r *snap.Reader) error {
 		ev.seq = r.I64()
 		ev.kind = evKind(r.U8())
 		ev.slot = int32(r.I64())
-		ev.msg = noc.RestoreMessage(r)
+		msg := noc.RestoreMessage(r)
 		if r.Err() != nil {
 			return r.Err()
+		}
+		if ev.kind == evSend {
+			ev.slot = e.sendAlloc(msg)
 		}
 		sim.HeapPush(&e.events, ev)
 	}

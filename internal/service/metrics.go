@@ -135,6 +135,12 @@ func (s *Service) buildRegistry() {
 	reg.CounterFunc("dtad_batch_slice_seconds_total",
 		"Wall-clock seconds spent inside fiber slices.",
 		func() float64 { return float64(batch.SliceNanos.Load()) / 1e9 })
+	reg.CounterFunc("dtad_batch_fiber_switches_total",
+		"Fiber slices handed to a different fiber than the previous slice (the context-switch share of dtad_batch_slices_total; the horizon scheduler keeps it low).",
+		func() float64 { return float64(batch.Switches.Load()) })
+	reg.GaugeFunc("dtad_batch_shared_states",
+		"Shared batch states (run/program caches + machine pool, keyed by Quick/Seed) held by worker registries, in use or idling warm.",
+		func() float64 { return float64(SharedStates.Load()) })
 
 	s.httpMetrics = make(map[string]*routeMetrics, len(routePatterns)+1)
 	for _, p := range append([]string{""}, routePatterns...) {

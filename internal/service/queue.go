@@ -11,9 +11,9 @@ import (
 	"time"
 
 	"repro/internal/batch"
-	"repro/internal/cell"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // JobState is a job's lifecycle stage.
@@ -385,40 +385,45 @@ func (s *Service) Close() {
 }
 
 // worker executes queued jobs until the queue closes. Each worker owns
-// a machine pool so consecutive jobs on this goroutine reuse built
-// machines instead of reconstructing them; the pool never crosses
-// goroutines. With BatchWidth > 1 the worker interleaves that many jobs
-// cooperatively — the fibers of one batch.Run never execute
-// simultaneously, so they share the pool exactly like sequential jobs.
+// a registry of shared BatchStates keyed by the program-shaping Options
+// fields (Quick, Seed): every job joining an existing state reuses its
+// machine pool, program cache and — decisively — its RUN CACHE, so a
+// sweep whose jobs overlap in simulations computes each one once per
+// worker instead of once per job. With BatchWidth > 1 the worker
+// interleaves that many jobs cooperatively under the horizon-aware
+// scheduler (batch.RunScheduled); the fibers never execute
+// simultaneously, so sharing stays lock-free, and a fiber wanting a
+// simulation a sibling is computing parks on the scheduler's waiting
+// list instead of recomputing it (see harness.Context).
 func (s *Service) worker() {
 	defer s.wg.Done()
-	pool := cell.NewBatchPool(s.cfg.BatchWidth)
-	// One checkpoint cache per worker, shared across all its jobs (and
-	// batch fibers) so a sweep's variants fork from each other's warm-up
-	// prefixes; the spill underneath is process-wide and survives
-	// restarts.
+	// One checkpoint cache per worker, shared across all its states, so
+	// a sweep's variants fork from each other's warm-up prefixes even
+	// across Quick/Seed boundaries (snapshot keys are content-addressed);
+	// the spill underneath is process-wide and survives restarts.
 	ckpts := harness.NewCheckpointCache(0)
 	if s.spill != nil {
 		ckpts.SetSpill(s.spill)
 	}
+	states := newStateRegistry(s.cfg.BatchWidth, ckpts)
 	if width := s.cfg.BatchWidth; width > 1 {
-		batch.Run(width, batch.FeedChan(s.queue, func(job *Job) batch.Task {
-			return func(yield func()) {
+		batch.RunScheduled(width, batch.KeyedFeedChan(s.queue, func(job *Job) batch.KeyedTask {
+			return harness.SchedTask(func(sched func(next sim.Cycle) sim.Cycle) {
+				state := states.acquire(job.Options)
+				defer states.release(job.Options)
 				s.runJob(job, func(opt harness.Options) *harness.Context {
-					ctx := harness.NewBatchedContext(opt, pool, 0, yield)
-					ctx.SetCheckpointCache(ckpts)
-					return ctx
+					return state.ContextFor(opt, sched)
 				})
-			}
+			})
 		}))
 		return
 	}
 	for job := range s.queue {
+		state := states.acquire(job.Options)
 		s.runJob(job, func(opt harness.Options) *harness.Context {
-			ctx := harness.NewContextWithPool(opt, pool)
-			ctx.SetCheckpointCache(ckpts)
-			return ctx
+			return state.ContextFor(opt, nil)
 		})
+		states.release(job.Options)
 	}
 }
 

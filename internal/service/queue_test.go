@@ -388,3 +388,32 @@ func TestBatchedWorkersMatchSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchedConcurrentIdenticalJobsOneSimulation: identical
+// submissions racing through a batched worker cost ONE simulation — a
+// duplicate either coalesces onto the in-flight job at submission or is
+// served from the result cache — with byte-identical bodies either way.
+func TestBatchedConcurrentIdenticalJobsOneSimulation(t *testing.T) {
+	s := New(Config{Workers: 1, BatchWidth: 2})
+	defer s.Close()
+	opt := harness.Options{Quick: true}
+	a, err := s.Submit("fig7", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit("fig7", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, a)
+	waitJob(t, b)
+	if a.State != JobDone || b.State != JobDone {
+		t.Fatalf("states: a=%s (err=%s) b=%s (err=%s)", a.State, a.Err, b.State, b.Err)
+	}
+	if !bytes.Equal(a.Result, b.Result) {
+		t.Fatalf("duplicate result differs:\n%s\n%s", a.Result, b.Result)
+	}
+	if n := s.Simulations(); n != 1 {
+		t.Fatalf("simulations = %d, want 1 (duplicate coalesced or cache-served)", n)
+	}
+}

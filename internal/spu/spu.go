@@ -72,8 +72,10 @@ type Config struct {
 // DefaultBurstMax is the burst-window bound applied when
 // Config.BurstMax is 0. The cap exists so a runaway all-compute loop
 // still returns to the engine often enough for Config.MaxCycles to
-// abort it.
-const DefaultBurstMax = 4096
+// abort it; since bursts are cycle-identical to single-step execution,
+// the bound trades only abort granularity (still far below any real
+// MaxCycles budget) against engine round-trips on compute-heavy code.
+const DefaultBurstMax = 1 << 16
 
 // DefaultConfig returns the default pipeline parameters.
 func DefaultConfig() Config {
@@ -107,6 +109,7 @@ const (
 	uopBurstReg                   // this and the next instruction are isa.BurstReg
 	uopBurstLS                    // this and the next instruction are isa.BurstReg, isa.BurstLSRead or isa.BurstLSWrite
 	uopExtern                     // isa.BurstNone: executing this op may wake another component
+	uopALU                        // register-only compute: issueCycle evaluates inline, skipping execute's opcode dispatch
 )
 
 // uop is the decoded, SPU-resident form of one instruction: the
@@ -300,6 +303,9 @@ func (s *SPU) buildUops(code []isa.Instruction) []uop {
 		if isa.ClassOf(ins.Op) == isa.BurstNone {
 			u.flags |= uopExtern
 		}
+		if aluOp(ins.Op) {
+			u.flags |= uopALU
+		}
 		u.lat = int32(s.latFor(info.Unit))
 	}
 	for i := 0; i+1 < len(code); i++ {
@@ -332,6 +338,22 @@ func (s *SPU) buildUops(code []isa.Instruction) []uop {
 		}
 	}
 	return us
+}
+
+// aluOp reports whether op is pure register compute — exactly the ops
+// execute handles as evaluate + setReg + pc advance, with no faults, no
+// sleeps and no side effects on other components — so issueCycle may
+// evaluate them inline (uopALU) without the opcode dispatch.
+func aluOp(op isa.Op) bool {
+	switch op {
+	case isa.MOVI, isa.MOVHI, isa.MOV,
+		isa.ADD, isa.ADDI, isa.SUB, isa.SUBI, isa.MUL, isa.MULI, isa.DIV,
+		isa.REM, isa.AND, isa.ANDI, isa.OR, isa.ORI, isa.XOR, isa.XORI,
+		isa.SHL, isa.SHLI, isa.SHR, isa.SHRI, isa.SRA, isa.SRAI,
+		isa.CMPEQ, isa.CMPLT, isa.CMPLTU:
+		return true
+	}
+	return false
 }
 
 // secondCannotJoin reports whether the instruction decoded as sec can
@@ -728,6 +750,12 @@ func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 	}
 	limit := now + s.burstLimit
 	t := now
+	// Per-PC attribution only matters when the guest profiler is on;
+	// without it, skip building Loc values — the zero Loc is fine for
+	// the nil-profile sink, and curLoc per cycle is measurable at burst
+	// rates.
+	profiled := s.Prof != nil
+	var loc stats.Loc
 	for {
 		if t < s.nextIssueAt {
 			// Dispatch refill, branch bubble, or MFC channel busy:
@@ -739,7 +767,10 @@ func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 			if end > limit {
 				end = limit
 			}
-			s.chargeCycles(t, int64(end-t), s.causeFor(stats.CauseBubble), s.curLoc())
+			if profiled {
+				loc = s.curLoc()
+			}
+			s.chargeCycles(t, int64(end-t), s.causeFor(stats.CauseBubble), loc)
 			t = end
 			if t >= limit || !s.burstableAt(t) {
 				return t
@@ -747,7 +778,9 @@ func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 		}
 		// The cycle attributes to the PC it started at: the first
 		// instruction considered (issued or blocked) this cycle.
-		loc := s.curLoc()
+		if profiled {
+			loc = s.curLoc()
+		}
 		cause, issued, sleep := s.issueCycle(t)
 		if sleep {
 			s.chargeCycle(t, cause, loc)
@@ -769,13 +802,11 @@ func (s *SPU) tick(now sim.Cycle) sim.Cycle {
 			s.chargeCycle(t, cause, loc)
 			t++
 		}
-		if t >= limit {
-			return t
-		}
-		if s.cur == nil {
-			// Work unit ended (STOP or PF completion): the next cycle
-			// dispatches, which resets the pipeline refill — hand back
-			// to the engine exactly as single-step execution does.
+		if t >= limit || s.cur == nil {
+			// At the limit, or the work unit ended (STOP or PF
+			// completion): the next cycle dispatches, which resets the
+			// pipeline refill — hand back to the engine exactly as
+			// single-step execution does.
 			return t
 		}
 		if t >= s.nextIssueAt && !s.burstableAt(t) {
@@ -818,13 +849,20 @@ func (s *SPU) burstableAt(t sim.Cycle) bool {
 // true horizon, i.e. conservative.
 func (s *SPU) lsHorizon() sim.Cycle {
 	if s.hznDirty {
-		s.hznDirty = false
-		if st := s.handle.SchedStamp(); st != s.hznStamp {
-			s.hznStamp = st
-			s.hzn = s.computeHorizon()
-		}
+		s.revalidateHorizon()
 	}
 	return s.hzn
+}
+
+// revalidateHorizon is lsHorizon's slow path, kept out of line so the
+// per-burst-cycle lsHorizon/burstableAt pair stays within the inlining
+// budget.
+func (s *SPU) revalidateHorizon() {
+	s.hznDirty = false
+	if st := s.handle.SchedStamp(); st != s.hznStamp {
+		s.hznStamp = st
+		s.hzn = s.computeHorizon()
+	}
 }
 
 // computeHorizon derives the first cycle at which this SPE's local
@@ -906,6 +944,31 @@ func (s *SPU) issueCycle(now sim.Cycle) (stats.Cause, int, bool) {
 				cycleCause = s.causeFor(cause)
 			}
 			break
+		}
+		if u.flags&uopALU != 0 {
+			// Register-only compute — the dominant class in unrolled
+			// kernels: evaluate inline (same effect as execute's ALU
+			// cases) and skip the full opcode dispatch. These ops never
+			// fault, sleep, branch, end the unit or wake another
+			// component, so none of the post-issue checks below apply.
+			var v int64
+			switch ins.Op {
+			case isa.MOVI:
+				v = int64(ins.Imm)
+			case isa.MOVHI:
+				v = int64(ins.Imm) << 32
+			case isa.MOV:
+				v = s.regs[ins.Ra]
+			default:
+				v = isa.EvalALU(ins.Op, s.regs[ins.Ra], s.regs[ins.Rb], int64(ins.Imm))
+			}
+			s.setReg(ins.Rd, v, now+sim.Cycle(u.lat), prodALU)
+			s.pc++
+			issued++
+			s.st.IssuedSlots++
+			s.st.Instr.Total++
+			cmpUsed = true
+			continue
 		}
 		ok, sleep, cause := s.execute(now, ins, u)
 		if !ok {

@@ -54,11 +54,13 @@ type CheckOptions struct {
 	// Pool recycles machines across checks (per worker; must not be
 	// shared across goroutines). nil builds a fresh machine per run.
 	Pool *cell.Pool
-	// Yield, when non-nil, makes every simulation advance in bounded
-	// slices of Slice cycles (0 = cell.DefaultSlice), calling Yield
-	// between slices — the hook batched runners use to interleave
-	// several checks on one goroutine. Results are identical either way.
-	Yield func()
+	// Sched, when non-nil, makes every simulation advance in bounded
+	// slices under the batch scheduling hook (see cell.Machine's
+	// RunScheduled): it reports the machine's next pending event cycle
+	// and receives the batch horizon, and Slice (0 = cell.DefaultSlice)
+	// is the anti-ping-pong floor. Batched runners use it to interleave
+	// several checks on one goroutine; results are identical either way.
+	Sched func(next sim.Cycle) sim.Cycle
 	Slice sim.Cycle
 	// DiffBurst additionally runs every simulation a second time with
 	// the SPU burst fast path disabled (spu.Config.BurstMax = -1; see
@@ -137,12 +139,12 @@ func diverged(sc Scenario, phase, format string, args ...any) *DivergenceError {
 }
 
 // runMachine drives one machine to completion: run-to-completion when
-// no Yield hook is set, sliced otherwise.
+// no Sched hook is set, scheduled in slices otherwise.
 func (o CheckOptions) runMachine(m *cell.Machine) (*cell.Result, error) {
-	if o.Yield == nil {
+	if o.Sched == nil {
 		return m.Run()
 	}
-	return m.RunSliced(o.Slice, o.Yield)
+	return m.RunScheduled(o.Slice, o.Sched)
 }
 
 // runSim executes prog on a (pooled) machine and returns the result

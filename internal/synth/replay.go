@@ -2,8 +2,10 @@ package synth
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cell"
+	"repro/internal/program"
 	"repro/internal/sim"
 )
 
@@ -27,18 +29,54 @@ type Replay struct {
 }
 
 // Rewind restores the machine to the paused boundary, undoing any
-// stepping done since ReplayTo (or the previous Rewind).
+// stepping done since the Replay was produced (or the previous Rewind).
 func (r *Replay) Rewind() error {
 	return r.Machine.RestoreSnapshot(r.Snapshot, r.Key)
 }
 
-// ReplayTo rebuilds a scenario's simulation — the original program, or
-// the prefetch-transformed one when transformed is set — and pauses it
-// at the last event boundary strictly before target. The walk captures
-// a snapshot at each boundary it crosses (at most ~64, the stride
-// scales with target) and rewinds to the final one, so the cost is one
-// cold run plus the captures.
-func ReplayTo(sc Scenario, opt CheckOptions, transformed bool, target sim.Cycle) (*Replay, error) {
+// SnapshotStore is where a Replayer keeps the boundary snapshots it
+// captures, so later probes restore instead of re-simulating.
+// *harness.CheckpointCache satisfies it (byte-capped, LRU, optional
+// disk spill); a plain map wrapper works for self-contained sessions.
+type SnapshotStore interface {
+	// Get returns the blob stored under key, if still present.
+	Get(key string) ([]byte, bool)
+	// Put stores blob under key (the store may evict it later).
+	Put(key string, blob []byte)
+}
+
+// mapStore is the Replayer's default store: unbounded, session-local.
+type mapStore map[string][]byte
+
+func (s mapStore) Get(key string) ([]byte, bool) { b, ok := s[key]; return b, ok }
+func (s mapStore) Put(key string, blob []byte)   { s[key] = blob }
+
+// Replayer is a bisection session over one scenario's simulation: it
+// owns one machine and a store of boundary snapshots accumulated across
+// ReplayTo probes, so probing cycle T costs re-simulation only from the
+// warmest captured boundary below T — a bisection's probes converge, so
+// each one starts ever closer to its target and the whole search is
+// O(log) re-simulation instead of one cold run per probe.
+//
+// Successive ReplayTo calls reuse the one machine: a new probe
+// invalidates the previous Replay's paused state (its Snapshot/Key
+// remain valid for RestoreSnapshot). Like a machine, a Replayer is
+// confined to one goroutine.
+type Replayer struct {
+	sc    Scenario
+	cfg   cell.Config
+	prog  *program.Program
+	m     *cell.Machine
+	store SnapshotStore
+	marks []sim.Cycle // boundary cycles captured so far, ascending
+}
+
+// NewReplayer prepares a replay session for sc — the original program,
+// or the prefetch-transformed one when transformed is set. store keeps
+// the boundary snapshots; nil selects an unbounded session-local map
+// (pass a *harness.CheckpointCache to bound bytes or share captures
+// with the fork machinery — keys are cell.SnapshotKey either way).
+func NewReplayer(sc Scenario, opt CheckOptions, transformed bool, store SnapshotStore) (*Replayer, error) {
 	sc = sc.Normalize()
 	opt = opt.withDefaults()
 	prog, err := Generate(sc)
@@ -54,43 +92,101 @@ func ReplayTo(sc Scenario, opt CheckOptions, transformed bool, target sim.Cycle)
 	cfg.SPEs = sc.SPEs
 	cfg.Mem.Latency = opt.Latency
 	cfg.MaxCycles = opt.MaxCycles
-
+	if store == nil {
+		store = make(mapStore)
+	}
 	// The machine deliberately bypasses the pool: the caller keeps it
 	// (and its memory image) alive for interactive inspection.
 	m, err := cell.New(cfg, prog)
 	if err != nil {
 		return nil, err
 	}
-	r := &Replay{Machine: m, Target: target}
-	capture := func() error {
-		key := cell.SnapshotKey(cfg, prog, m.Now())
-		blob, err := m.EncodeSnapshot(key)
-		if err != nil {
-			return fmt.Errorf("synth: replay capture at %d: %w", m.Now(), err)
-		}
-		r.Snapshot, r.Key, r.At = blob, key, m.Now()
-		return nil
-	}
-	if err := capture(); err != nil {
+	rp := &Replayer{sc: sc, cfg: cfg, prog: prog, m: m, store: store}
+	if err := rp.capture(nil); err != nil {
 		return nil, err
 	}
-	stride := target / 64
+	return rp, nil
+}
+
+// capture snapshots the machine's current boundary into the store and
+// the mark list, and (when r is non-nil) points r at it.
+func (rp *Replayer) capture(r *Replay) error {
+	at := rp.m.Now()
+	key := cell.SnapshotKey(rp.cfg, rp.prog, at)
+	blob, err := rp.m.EncodeSnapshot(key)
+	if err != nil {
+		return fmt.Errorf("synth: replay capture at %d: %w", at, err)
+	}
+	rp.store.Put(key, blob)
+	i := sort.Search(len(rp.marks), func(i int) bool { return rp.marks[i] >= at })
+	if i == len(rp.marks) || rp.marks[i] != at {
+		rp.marks = append(rp.marks, 0)
+		copy(rp.marks[i+1:], rp.marks[i:])
+		rp.marks[i] = at
+	}
+	if r != nil {
+		r.Snapshot, r.Key, r.At = blob, key, at
+	}
+	return nil
+}
+
+// seek restores the machine to the warmest captured boundary strictly
+// below target, falling back to earlier marks (or a fresh machine) when
+// the store has evicted a blob.
+func (rp *Replayer) seek(target sim.Cycle) error {
+	i := sort.Search(len(rp.marks), func(i int) bool { return rp.marks[i] >= target })
+	for i > 0 {
+		at := rp.marks[i-1]
+		key := cell.SnapshotKey(rp.cfg, rp.prog, at)
+		if blob, ok := rp.store.Get(key); ok {
+			if err := rp.m.RestoreSnapshot(blob, key); err == nil {
+				return nil
+			}
+		}
+		// Evicted or unrestorable: forget the mark and try the next
+		// boundary down.
+		rp.marks = append(rp.marks[:i-1], rp.marks[i:]...)
+		i--
+	}
+	// No usable boundary below target: start cold.
+	if err := rp.m.Reset(rp.prog); err != nil {
+		return err
+	}
+	return rp.capture(nil)
+}
+
+// ReplayTo pauses the session's machine at the last event boundary
+// strictly before target and returns the time-travel handle. The walk
+// starts from the warmest snapshot already captured below target and
+// captures each boundary it crosses (stride scales with the remaining
+// distance, at most ~64 captures per probe), so repeated probes — a
+// divergence bisection — pay only the gap between neighbouring probe
+// points, not a cold run each.
+func (rp *Replayer) ReplayTo(target sim.Cycle) (*Replay, error) {
+	if err := rp.seek(target); err != nil {
+		return nil, err
+	}
+	r := &Replay{Machine: rp.m, Target: target}
+	if err := rp.capture(r); err != nil {
+		return nil, err
+	}
+	stride := (target - rp.m.Now()) / 64
 	if stride < 1 {
 		stride = 1
 	}
-	for m.Now() < target {
-		budget := target - m.Now()
+	for rp.m.Now() < target {
+		budget := target - rp.m.Now()
 		if budget > stride {
 			budget = stride
 		}
-		st, err := m.Step(budget)
+		st, err := rp.m.Step(budget)
 		if err != nil {
-			return nil, fmt.Errorf("synth: replay run at %d: %w", m.Now(), err)
+			return nil, fmt.Errorf("synth: replay run at %d: %w", rp.m.Now(), err)
 		}
-		if st == cell.StepDone || m.Now() >= target {
+		if st == cell.StepDone || rp.m.Now() >= target {
 			break
 		}
-		if err := capture(); err != nil {
+		if err := rp.capture(r); err != nil {
 			return nil, err
 		}
 	}
@@ -98,4 +194,26 @@ func ReplayTo(sc Scenario, opt CheckOptions, transformed bool, target sim.Cycle)
 		return nil, err
 	}
 	return r, nil
+}
+
+// Marks returns the boundary cycles captured so far, ascending — the
+// restore points future probes can start from. Exposed so tests (and
+// curious tooling) can assert that warm probes reuse earlier marks.
+func (rp *Replayer) Marks() []sim.Cycle {
+	out := make([]sim.Cycle, len(rp.marks))
+	copy(out, rp.marks)
+	return out
+}
+
+// ReplayTo rebuilds a scenario's simulation — the original program, or
+// the prefetch-transformed one when transformed is set — and pauses it
+// at the last event boundary strictly before target: the one-shot form
+// of a Replayer session (fresh machine, private snapshot store). Use a
+// Replayer directly when probing the same scenario repeatedly.
+func ReplayTo(sc Scenario, opt CheckOptions, transformed bool, target sim.Cycle) (*Replay, error) {
+	rp, err := NewReplayer(sc, opt, transformed, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rp.ReplayTo(target)
 }
